@@ -1,0 +1,14 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the reproduced rows/series (run pytest with ``-s`` to see them). The
+``benchmark`` fixture times the reproduction; shape assertions verify
+the paper's qualitative claims (who wins, by what rough factor, where
+the crossovers fall).
+"""
+
+import sys
+import os
+
+# Make `perf_common` importable when pytest collects from the repo root.
+sys.path.insert(0, os.path.dirname(__file__))

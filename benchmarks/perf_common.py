@@ -1,0 +1,110 @@
+"""Shared configuration for the performance-reproduction benchmarks.
+
+The paper simulates 1B instructions x 8 cores x 78 workloads on a C
+simulator; a pure-Python reproduction must run scaled-down but
+*structure-preserving* experiments (see DESIGN.md). Benchmarks default to
+a representative workload subset — the paper's own Figure 14 shows
+detailed bars only for workloads with a >800-activation row — plus one
+representative per remaining suite. Environment knobs:
+
+- ``REPRO_BENCH_REQUESTS``: requests per core (default 25000).
+- ``REPRO_BENCH_CORES``: simulated cores (default 4).
+- ``REPRO_BENCH_FULL``: set to 1 to run every one of the 78 workloads
+  (slow; tens of minutes).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+from repro.sim.results import normalized_performance, slowdown_percent
+from repro.sim.runner import compare_mitigations, suite_geomeans
+from repro.sim.simulator import SimulationParams
+from repro.workloads.suites import ALL_WORKLOADS
+
+REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "25000"))
+CORES = int(os.environ.get("REPRO_BENCH_CORES", "4"))
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+TIME_SCALE = 32
+
+# Figure 14's detailed set (>10% RRS slowdown club + GUPS) plus one
+# representative per suite; MIXes contribute one entry.
+DETAILED_WORKLOADS: List[str] = [
+    "gups",
+    "gcc",
+    "hmmer",
+    "bzip2",
+    "zeusmp",
+    "astar",
+    "sphinx3",
+    "xz_17",
+    "soplex",
+    "lbm",
+    "mcf",
+    "pr",
+    "comm1",
+    "canneal",
+    "mummer",
+    "povray",
+    "mix1",
+]
+
+
+def bench_workloads() -> List[str]:
+    if FULL:
+        return [w.name for w in ALL_WORKLOADS]
+    return DETAILED_WORKLOADS
+
+
+def params(trh: int, tracker: str = "misra-gries", seed: int = 77) -> SimulationParams:
+    return SimulationParams(
+        trh=trh,
+        tracker=tracker,
+        num_cores=CORES,
+        requests_per_core=REQUESTS,
+        time_scale=TIME_SCALE,
+        seed=seed,
+    )
+
+
+def normalized_table(
+    workloads: Sequence[str],
+    mitigations: Sequence[str],
+    run_params: SimulationParams,
+) -> Dict[str, Dict[str, float]]:
+    """{workload: {mitigation: normalized performance}}."""
+    table: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        results = compare_mitigations(workload, mitigations, run_params)
+        base = results["baseline"]
+        table[workload] = {
+            name: normalized_performance(base, result)
+            for name, result in results.items()
+            if name != "baseline"
+        }
+    return table
+
+
+def print_table(
+    title: str,
+    table: Dict[str, Dict[str, float]],
+    mitigations: Sequence[str],
+) -> Dict[str, Dict[str, float]]:
+    """Pretty-print a normalized-performance table plus suite geomeans."""
+    print(f"\n=== {title} ===")
+    header = f"{'workload':<14s}" + "".join(f"{m:>16s}" for m in mitigations)
+    print(header)
+    for workload, row in table.items():
+        cells = "".join(f"{row[m]:>16.4f}" for m in mitigations)
+        print(f"{workload:<14s}{cells}")
+    means = suite_geomeans(table)
+    print("--- suite geometric means ---")
+    for suite, row in sorted(means.items()):
+        cells = "".join(f"{row.get(m, float('nan')):>16.4f}" for m in mitigations)
+        print(f"{suite:<14s}{cells}")
+    if "ALL" in means:
+        for m in mitigations:
+            pct = slowdown_percent(means["ALL"][m])
+            print(f"average slowdown [{m}]: {pct:.2f}%")
+    return means

@@ -1,0 +1,39 @@
+"""E2 / Figure 1b: normalized performance of RRS as TRH varies.
+
+Paper anchors: RRS costs ~0.3% at TRH=4800 but degrades sharply as the
+threshold scales down (the 'not scalable' half of the motivation). The
+bench sweeps TRH over {4800, 2400, 1200} on a hot/streaming/compute
+workload mix.
+"""
+
+from perf_common import normalized_table, params, print_table
+from repro.sim.results import geometric_mean
+
+WORKLOADS = ["gcc", "hmmer", "sphinx3", "soplex", "lbm", "povray"]
+TRH_VALUES = [4800, 2400, 1200]
+
+
+def reproduce():
+    tables = {}
+    for trh in TRH_VALUES:
+        tables[trh] = normalized_table(WORKLOADS, ["rrs"], params(trh=trh))
+    return tables
+
+
+def test_fig01b_rrs_vs_trh(benchmark):
+    tables = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+
+    means = {}
+    for trh in TRH_VALUES:
+        print_table(f"Figure 1b: RRS at TRH={trh}", tables[trh], ["rrs"])
+        means[trh] = geometric_mean([row["rrs"] for row in tables[trh].values()])
+    print("\nRRS average normalized performance by TRH:")
+    for trh in TRH_VALUES:
+        print(f"  TRH={trh}: {means[trh]:.4f}")
+
+    # Monotone degradation as TRH drops.
+    assert means[4800] >= means[2400] - 0.005
+    assert means[2400] >= means[1200] - 0.005
+    # Small at 4800, significant at 1200.
+    assert means[4800] > 0.97
+    assert means[1200] < means[4800] - 0.02

@@ -1,0 +1,40 @@
+"""E6 / Figure 7: correct random guesses (k) required vs attack rounds.
+
+Paper series: k falls stepwise as rounds increase — at TRH=4800, k=4 for
+N <= ~500 and k=2 for N >= ~1100; at TRH in {1200, 2400} enough rounds
+drive k to zero (latent activations alone suffice).
+"""
+
+from repro.attacks.analytical import AttackParameters, JuggernautModel
+
+ROUNDS = list(range(0, 1401, 50))
+SWAP_RATE = 6
+
+
+def reproduce():
+    series = {}
+    for trh in (4800, 2400, 1200):
+        model = JuggernautModel(AttackParameters(trh=trh, ts=trh // SWAP_RATE))
+        series[trh] = [model.required_guesses(n) for n in ROUNDS]
+    return series
+
+
+def test_fig07_required_guesses(benchmark):
+    series = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+
+    print("\n=== Figure 7: required correct guesses k vs rounds ===")
+    print(f"{'rounds':>8s}{4800:>8d}{2400:>8d}{1200:>8d}")
+    for i, n in enumerate(ROUNDS):
+        print(f"{n:>8d}{series[4800][i]:>8d}{series[2400][i]:>8d}{series[1200][i]:>8d}")
+
+    k4800 = series[4800]
+    # Paper anchors: k=4 at N <= 500 and k=2 at N >= 1100 for TRH=4800.
+    assert k4800[ROUNDS.index(500)] == 4
+    assert k4800[ROUNDS.index(1100)] == 2
+    # k is monotone non-increasing in rounds.
+    for trh in series:
+        assert series[trh] == sorted(series[trh], reverse=True)
+    # Lower thresholds reach k = 0 (single-window break).
+    assert 0 in series[2400]
+    assert 0 in series[1200]
+    assert 0 not in k4800

@@ -1,0 +1,51 @@
+"""E7 / Figure 10: time-to-break SRS vs RRS under Juggernaut, by swap rate.
+
+Paper series: across swap rates 6-10 and TRH in {1200, 2400, 4800}, RRS
+falls in hours-to-a-day regardless of the swap rate, while SRS holds for
+years (>2 years at TRH=4800 / rate 6, rapidly more at higher rates).
+"""
+
+from repro.attacks.analytical import AttackParameters, JuggernautModel, srs_parameters
+
+SWAP_RATES = [6, 7, 8, 9, 10]
+TRH_VALUES = [4800, 2400, 1200]
+
+
+def reproduce():
+    rrs, srs = {}, {}
+    for trh in TRH_VALUES:
+        rrs[trh] = []
+        srs[trh] = []
+        for rate in SWAP_RATES:
+            params = AttackParameters(trh=trh, ts=max(2, int(round(trh / rate))))
+            rrs[trh].append(JuggernautModel(params).best(step=10).time_to_break_days)
+            srs[trh].append(
+                JuggernautModel(srs_parameters(params)).best(step=200).time_to_break_days
+            )
+    return rrs, srs
+
+
+def test_fig10_srs_vs_rrs(benchmark):
+    rrs, srs = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+
+    print("\n=== Figure 10: time-to-break under Juggernaut (days) ===")
+    print(f"{'swap rate':>10s}" + "".join(f"{r:>12d}" for r in SWAP_RATES))
+    for trh in TRH_VALUES:
+        print(f"RRS {trh:<6d}" + "".join(f"{d:>12.3g}" for d in rrs[trh]))
+    for trh in TRH_VALUES:
+        print(f"SRS {trh:<6d}" + "".join(f"{d:>12.3g}" for d in srs[trh]))
+
+    # Paper anchors.
+    assert rrs[4800][0] < 1.0  # RRS: under a day at rate 6
+    assert all(d < 1.0 for d in rrs[1200])  # broken regardless of rate
+    assert srs[4800][0] > 2 * 365  # SRS: > 2 years at rate 6
+
+    # SRS dominates RRS by orders of magnitude everywhere.
+    for trh in TRH_VALUES:
+        for r, s in zip(rrs[trh], srs[trh]):
+            assert s / max(r, 1e-9) > 100
+
+    # SRS improves steeply with swap rate (endpoints; the integer number
+    # of required guesses makes individual steps cliff-like).
+    for trh in TRH_VALUES:
+        assert srs[trh][-1] > srs[trh][0] * 100

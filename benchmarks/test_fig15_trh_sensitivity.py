@@ -1,0 +1,51 @@
+"""E11 / Figure 15: sensitivity to TRH from 4800 down to 512.
+
+Paper anchors (Misra-Gries tracker): at TRH=512 Scale-SRS loses only ~4%
+on average while RRS loses ~14%; the gap widens monotonically as the
+threshold scales down, which is the scalability argument.
+"""
+
+from perf_common import normalized_table, params, print_table
+from repro.sim.results import geometric_mean
+
+WORKLOADS = ["gcc", "hmmer", "sphinx3", "soplex", "pr", "comm1", "lbm", "povray"]
+MITIGATIONS = ["rrs", "scale-srs"]
+TRH_VALUES = [4800, 2400, 1200, 512]
+
+
+def reproduce():
+    return {
+        trh: normalized_table(WORKLOADS, MITIGATIONS, params(trh=trh))
+        for trh in TRH_VALUES
+    }
+
+
+def test_fig15_trh_sensitivity(benchmark):
+    tables = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+
+    means = {}
+    for trh in TRH_VALUES:
+        print_table(f"Figure 15: TRH={trh}", tables[trh], MITIGATIONS)
+        means[trh] = {
+            m: geometric_mean([r[m] for r in tables[trh].values()])
+            for m in MITIGATIONS
+        }
+    print("\naverages by TRH (normalized performance):")
+    for trh in TRH_VALUES:
+        print(
+            f"  TRH={trh:>5d}: RRS {means[trh]['rrs']:.4f}  "
+            f"Scale-SRS {means[trh]['scale-srs']:.4f}"
+        )
+
+    # Scale-SRS dominates RRS at every threshold.
+    for trh in TRH_VALUES:
+        assert means[trh]["scale-srs"] > means[trh]["rrs"]
+    # Both degrade monotonically (within noise) as TRH shrinks...
+    rrs_series = [means[trh]["rrs"] for trh in TRH_VALUES]
+    assert rrs_series[0] > rrs_series[-1]
+    # ...and the absolute gap widens toward low thresholds (scalability).
+    gap_4800 = means[4800]["scale-srs"] - means[4800]["rrs"]
+    gap_512 = means[512]["scale-srs"] - means[512]["rrs"]
+    assert gap_512 > gap_4800
+    # Scale-SRS keeps losses moderate even at TRH=512.
+    assert means[512]["scale-srs"] > means[512]["rrs"] + 0.02

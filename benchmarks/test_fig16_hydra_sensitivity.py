@@ -1,0 +1,61 @@
+"""E12 / Figure 16: the same TRH sensitivity with the Hydra tracker.
+
+Paper anchors: Hydra stores activation counters in DRAM behind a counter
+cache, so at low thresholds its misses add memory traffic; at TRH=512
+Scale-SRS-with-Hydra loses ~5.9% while RRS-with-Hydra loses ~26.8% — the
+tracker amplifies RRS's disadvantage because RRS's smaller TS crosses
+group thresholds (and swaps) far more often.
+"""
+
+from perf_common import normalized_table, params, print_table
+from repro.sim.results import geometric_mean
+
+WORKLOADS = ["gcc", "hmmer", "sphinx3", "soplex", "pr", "comm1", "lbm"]
+MITIGATIONS = ["rrs", "scale-srs"]
+TRH_VALUES = [4800, 1200, 512]
+
+
+def reproduce():
+    out = {}
+    for trh in TRH_VALUES:
+        out[trh] = {
+            "hydra": normalized_table(WORKLOADS, MITIGATIONS, params(trh=trh, tracker="hydra")),
+            "misra-gries": normalized_table(WORKLOADS, MITIGATIONS, params(trh=trh)),
+        }
+    return out
+
+
+def test_fig16_hydra_tracker(benchmark):
+    tables = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+
+    means = {}
+    for trh in TRH_VALUES:
+        print_table(f"Figure 16: Hydra tracker, TRH={trh}", tables[trh]["hydra"], MITIGATIONS)
+        means[trh] = {
+            tracker: {
+                m: geometric_mean([r[m] for r in tables[trh][tracker].values()])
+                for m in MITIGATIONS
+            }
+            for tracker in ("hydra", "misra-gries")
+        }
+    print("\naverages (normalized performance):")
+    for trh in TRH_VALUES:
+        row = means[trh]
+        print(
+            f"  TRH={trh:>5d}: Hydra RRS {row['hydra']['rrs']:.4f} / "
+            f"Scale {row['hydra']['scale-srs']:.4f}   "
+            f"MG RRS {row['misra-gries']['rrs']:.4f} / "
+            f"Scale {row['misra-gries']['scale-srs']:.4f}"
+        )
+
+    # Scale-SRS dominates RRS under Hydra at every threshold.
+    for trh in TRH_VALUES:
+        assert means[trh]["hydra"]["scale-srs"] > means[trh]["hydra"]["rrs"]
+    # Hydra is never cheaper than Misra-Gries for RRS at the lowest
+    # threshold (the counter-cache traffic).
+    assert (
+        means[512]["hydra"]["rrs"]
+        <= means[512]["misra-gries"]["rrs"] + 0.01
+    )
+    # RRS-with-Hydra degrades sharply from 4800 to 512.
+    assert means[512]["hydra"]["rrs"] < means[4800]["hydra"]["rrs"] - 0.02

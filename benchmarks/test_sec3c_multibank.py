@@ -1,0 +1,30 @@
+"""E15 / Section III-C: the multi-bank Juggernaut attack.
+
+Paper anchor: at TRH=4800 / swap rate 6, moving from a single-bank attack
+(~4 hours) to hammering all 16 banks of a channel degrades the attack to
+~9.9 years, because the channel's activate throughput dilutes each bank's
+activation rate.
+"""
+
+from repro.attacks.juggernaut import multi_bank_time_to_break_days
+
+BANK_COUNTS = [1, 2, 4, 8, 16]
+
+
+def reproduce():
+    return {b: multi_bank_time_to_break_days(4800, 6, b) for b in BANK_COUNTS}
+
+
+def test_sec3c_multibank(benchmark):
+    days = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+
+    print("\n=== Section III-C: multi-bank attack (TRH=4800, rate 6) ===")
+    for banks, d in days.items():
+        print(f"{banks:>3d} banks: {d:>12.4g} days ({d/365:.2f} years)")
+
+    # Single bank: the ~4 hour Juggernaut result.
+    assert days[1] < 1.0
+    # All 16 banks: years (paper: 9.9 years; our throughput model ~11).
+    assert 3 * 365 < days[16] < 40 * 365
+    # The collapse happens once the channel ACT throughput saturates.
+    assert days[16] / days[1] > 1000

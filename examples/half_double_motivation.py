@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Why aggressor-focused mitigation: the half-double story (Section II-E).
+
+Plays the paper's motivation as an experiment. Classic double-sided
+hammering is stopped by victim-focused mitigation (VFM) — but VFM's own
+mitigative refreshes are activations, so the half-double pattern turns
+the defense into the attacker's hammer: protecting distance-1 victims
+flips distance-2 rows, and widening the protected radius just moves the
+flip to distance 3. Relocating the aggressor (Scale-SRS) ends the arms
+race.
+
+Usage::
+
+    python examples/half_double_motivation.py
+"""
+
+import random
+
+from repro.attacks.harness import hammer_pattern
+from repro.attacks.patterns import double_sided, half_double
+from repro.core.scale_srs import ScaleSecureRowSwap
+from repro.core.vfm import PARA, TargetedRowRefresh
+from repro.dram.bank import Bank
+from repro.dram.config import DRAMTiming
+from repro.dram.disturbance import DisturbanceModel
+from repro.trackers.base import ExactTracker
+
+TRH = 2000
+AGGRESSOR = 100
+HAMMERS = 300_000
+
+
+def rig(defense: str, radius: int = 1):
+    bank = Bank(4096, DRAMTiming(refresh_window=1e12))
+    disturbance = DisturbanceModel(
+        4096, TRH, refresh_window=1e12, distance_factors=(1.0, 0.002)
+    )
+    if defense == "targeted-refresh":
+        engine = TargetedRowRefresh(
+            bank, disturbance, ExactTracker(100), protected_radius=radius
+        )
+    elif defense == "para":
+        engine = PARA(bank, disturbance, trh=TRH, rng=random.Random(5),
+                      protected_radius=radius)
+    elif defense == "scale-srs":
+        engine = ScaleSecureRowSwap(bank, ExactTracker(TRH // 3), random.Random(7))
+    else:
+        raise ValueError(defense)
+    return engine, disturbance
+
+
+def report(label: str, outcome) -> None:
+    if outcome.any_flip:
+        distances = sorted(abs(r - AGGRESSOR) for r in outcome.flipped_rows)
+        print(f"  {label:<28s} BIT FLIPS at rows {outcome.flipped_rows} "
+              f"(distances {distances})")
+    else:
+        print(f"  {label:<28s} held (hottest victim at "
+              f"{outcome.hottest_disturbance:.0f}/{TRH})")
+
+
+def main() -> int:
+    print(f"Blast-radius physics: distance-1 weight 1.0, distance-2 weight "
+          f"0.002; TRH={TRH}\n")
+
+    print(f"Double-sided hammering (2400 activations around row {AGGRESSOR}):")
+    for defense in ("targeted-refresh", "para", "scale-srs"):
+        engine, disturbance = rig(defense)
+        outcome = hammer_pattern(engine, disturbance, double_sided(AGGRESSOR, 2400))
+        report(defense, outcome)
+
+    print(f"\nHalf-double ({HAMMERS:,} hammers of row {AGGRESSOR}, sparse "
+          f"touches of row {AGGRESSOR + 1}):")
+    for defense in ("targeted-refresh", "para", "scale-srs"):
+        engine, disturbance = rig(defense)
+        outcome = hammer_pattern(engine, disturbance, half_double(AGGRESSOR, HAMMERS))
+        suffix = f" [{outcome.victim_refreshes} mitigative refreshes fed the attack]" \
+            if outcome.any_flip else ""
+        report(defense, outcome)
+        if suffix:
+            print(f"    {suffix}")
+
+    print("\nThe arms race: widen the protected radius to 2...")
+    engine, disturbance = rig("targeted-refresh", radius=2)
+    outcome = hammer_pattern(engine, disturbance, half_double(AGGRESSOR, HAMMERS))
+    report("targeted-refresh (radius 2)", outcome)
+    print("\n-> refreshing victims at distance n hammers distance n+1; moving")
+    print("   the aggressor (row swap) is the structural fix the paper builds.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

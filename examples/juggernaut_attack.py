@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Juggernaut end to end: break RRS, bounce off SRS.
+
+Part 1 evaluates the analytical model (Section III-B) at the paper's
+design point — TRH 4800, swap rate 6 — showing the ~4-hour break of RRS
+versus >2 years for SRS, and where the optimal number of attack rounds
+sits.
+
+Part 2 *executes* the attack pattern of Figure 5 against live mitigation
+engines on a scaled-down bank, demonstrating the mechanism: latent
+activations pile up at the target's home location under RRS and do not
+under SRS.
+
+Usage::
+
+    python examples/juggernaut_attack.py
+"""
+
+import random
+
+from repro.attacks.analytical import AttackParameters, JuggernautModel, srs_parameters
+from repro.attacks.juggernaut import JuggernautAttacker
+from repro.core.rrs import RandomizedRowSwap
+from repro.core.srs import SecureRowSwap
+from repro.dram.bank import Bank
+from repro.dram.config import DRAMTiming
+from repro.trackers.base import ExactTracker
+
+
+def analytical_part() -> None:
+    print("=" * 64)
+    print("Part 1 - analytical model (TRH=4800, swap rate 6)")
+    print("=" * 64)
+    params = AttackParameters(trh=4800, ts=800)
+
+    rrs = JuggernautModel(params)
+    best = rrs.best(step=10)
+    print(f"RRS:  optimal rounds N = {best.rounds}")
+    print(f"      required correct guesses k = {best.required_guesses}")
+    print(f"      guesses per 64 ms window G = {best.guesses_per_window:.0f}")
+    print(f"      time-to-break = {best.time_to_break_days * 24:.1f} hours "
+          f"(paper: ~4 hours)")
+
+    srs = JuggernautModel(srs_parameters(params))
+    srs_best = srs.best(step=200)
+    print(f"SRS:  time-to-break = {srs_best.time_to_break_days / 365:.1f} years "
+          f"(paper: > 2 years)")
+    ratio = srs_best.time_to_break_days / best.time_to_break_days
+    print(f"      SRS holds {ratio:,.0f}x longer than RRS\n")
+
+
+def live_part() -> None:
+    print("=" * 64)
+    print("Part 2 - live attack on scaled-down engines (256-row bank)")
+    print("=" * 64)
+    trh, ts, rounds = 120, 20, 50
+    timing = DRAMTiming(refresh_window=500_000.0)
+
+    for name, engine_cls in (("RRS", RandomizedRowSwap), ("SRS", SecureRowSwap)):
+        bank = Bank(256, timing)
+        engine = engine_cls(bank, ExactTracker(ts), random.Random(1))
+        attacker = JuggernautAttacker(engine, trh=trh, ts=ts, rng=random.Random(2))
+        verdict = attacker.run_window(target_row=77, rounds=rounds)
+        flipped = "BIT FLIP" if verdict.bit_flipped else "held"
+        print(
+            f"{name}: after {verdict.rounds_completed} rounds + "
+            f"{verdict.guesses_made} guesses, target home location has "
+            f"{verdict.target_home_activations} ACTs vs TRH={trh} -> {flipped}"
+        )
+    print("\nThe RRS home location keeps absorbing latent activations from")
+    print("unswap-swap operations (Figures 2-3); SRS's swap-only indirection")
+    print("freezes it at ~2xTS (Equation 11).")
+
+
+def main() -> int:
+    analytical_part()
+    live_part()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Suite-level study: reproduce the Figure 14 bar chart in text form.
+
+Runs RRS and Scale-SRS over a chosen suite (or the Figure's detailed
+subset) at TRH=1200 and prints per-workload normalized performance plus
+suite geometric means, mirroring the paper's grouping (GUPS, SPEC2K6,
+SPEC2K17, GAP, COMMERCIAL, PARSEC, BIOBENCH, MIX, ALL).
+
+Usage::
+
+    python examples/suite_study.py                 # detailed subset
+    python examples/suite_study.py GAP             # one suite
+    python examples/suite_study.py gcc hmmer lbm   # explicit workloads
+"""
+
+import sys
+
+from repro.sim import SimulationParams, compare_mitigations, normalized_performance
+from repro.sim.runner import suite_geomeans
+from repro.workloads.suites import SUITES, workloads_in_suite
+
+DETAILED = [
+    "gups", "gcc", "hmmer", "bzip2", "zeusmp", "astar", "sphinx3",
+    "xz_17", "soplex", "lbm", "mcf", "pr", "comm1", "canneal", "mix1",
+]
+
+
+def select_workloads(argv) -> list:
+    if not argv:
+        return DETAILED
+    if len(argv) == 1 and argv[0] in SUITES:
+        return [w.name for w in workloads_in_suite(argv[0])]
+    return argv
+
+
+def main() -> int:
+    workloads = select_workloads(sys.argv[1:])
+    params = SimulationParams(
+        trh=1200, num_cores=4, requests_per_core=25_000, time_scale=32
+    )
+    mitigations = ["rrs", "scale-srs"]
+
+    print(f"Figure 14 study: {len(workloads)} workloads at TRH=1200\n")
+    print(f"{'workload':<14s}{'rrs':>10s}{'scale-srs':>12s}")
+    table = {}
+    for workload in workloads:
+        results = compare_mitigations(workload, mitigations, params)
+        base = results["baseline"]
+        table[workload] = {
+            m: normalized_performance(base, results[m]) for m in mitigations
+        }
+        print(f"{workload:<14s}{table[workload]['rrs']:>10.4f}"
+              f"{table[workload]['scale-srs']:>12.4f}")
+
+    print("\nsuite geometric means:")
+    for suite, row in sorted(suite_geomeans(table).items()):
+        print(f"  {suite:<12s} rrs={row['rrs']:.4f}  scale-srs={row['scale-srs']:.4f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Scalability study: what happens as DRAM keeps getting weaker.
+
+Table I records TRH falling 29x in eight years. This example sweeps the
+threshold from 4800 down to 512 and reports, at each point:
+
+- the security picture (days to break RRS with Juggernaut vs SRS), and
+- the cost picture (normalized performance of RRS vs Scale-SRS on a hot
+  workload, plus Table IV storage and Table V power).
+
+It reproduces the paper's bottom line: RRS becomes both breakable and
+expensive as TRH drops, while Scale-SRS stays secure and cheap.
+
+Usage::
+
+    python examples/threshold_scaling.py [workload]
+"""
+
+import sys
+
+from repro.analysis.power import PowerModel
+from repro.analysis.storage import StorageModel
+from repro.attacks.analytical import AttackParameters, JuggernautModel, srs_parameters
+from repro.sim import SimulationParams, compare_mitigations, normalized_performance
+
+TRH_VALUES = [4800, 2400, 1200, 512]
+
+
+def security_row(trh: int) -> tuple:
+    params = AttackParameters(trh=trh, ts=max(2, trh // 6))
+    rrs_days = JuggernautModel(params).best(step=20).time_to_break_days
+    srs_days = JuggernautModel(srs_parameters(params)).best(step=400).time_to_break_days
+    return rrs_days, srs_days
+
+
+def main() -> int:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "sphinx3"
+    storage = StorageModel()
+    power = PowerModel()
+
+    print(f"Threshold-scaling study on '{workload}'")
+    print(f"{'TRH':>6s} | {'RRS break':>10s} {'SRS break':>11s} | "
+          f"{'RRS perf':>9s} {'Scale perf':>11s} | {'RRS KB':>7s} {'Scale KB':>9s}")
+    print("-" * 78)
+
+    for trh in TRH_VALUES:
+        rrs_days, srs_days = security_row(trh)
+        params = SimulationParams(
+            trh=trh, num_cores=4, requests_per_core=25_000, time_scale=32
+        )
+        results = compare_mitigations(workload, ["rrs", "scale-srs"], params)
+        base = results["baseline"]
+        rrs_perf = normalized_performance(base, results["rrs"])
+        scale_perf = normalized_performance(base, results["scale-srs"])
+        rrs_kb = storage.breakdown(trh, "rrs").total_kb
+        scale_kb = storage.breakdown(trh, "scale-srs").total_kb
+        print(
+            f"{trh:>6d} | {rrs_days:>9.2g}d {srs_days/365:>10.1f}y | "
+            f"{rrs_perf:>9.4f} {scale_perf:>11.4f} | {rrs_kb:>7.1f} {scale_kb:>9.1f}"
+        )
+
+    print("\nPower at TRH=4800 (Table V):")
+    for design, row in power.table(4800).items():
+        print(f"  {design:<10s} DRAM overhead {row.dram_overhead_percent:.2f}%  "
+              f"SRAM {row.sram_power_mw:.0f} mW")
+    print(f"\nStorage ratio at TRH=1200: "
+          f"{storage.storage_ratio(1200):.2f}x (paper: 3.3x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""repro: reproduction of "Scalable and Secure Row-Swap" (HPCA 2023).
+
+Public API tour:
+
+- ``repro.core`` — the mitigations: :class:`RandomizedRowSwap` (RRS),
+  :class:`SecureRowSwap` (SRS), :class:`ScaleSecureRowSwap` (Scale-SRS).
+- ``repro.attacks`` — the Juggernaut attack: analytical model, Monte
+  Carlo, live attacker, and the outlier/naive-attack models.
+- ``repro.dram`` / ``repro.controller`` / ``repro.cpu`` — the DDR4
+  memory-system substrate (banks, timing, refresh, controller, cores,
+  LLC).
+- ``repro.trackers`` — Misra-Gries and Hydra aggressor-row trackers.
+- ``repro.workloads`` — the 78-workload synthetic suite.
+- ``repro.sim`` — end-to-end performance simulation and sweeps.
+- ``repro.analysis`` — storage (Table IV) and power (Table V) models.
+
+Quickstart::
+
+    from repro.sim import run_workload, SimulationParams, compare_mitigations
+    results = compare_mitigations("gcc", ["rrs", "scale-srs"],
+                                  SimulationParams(trh=1200))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "dram",
+    "controller",
+    "cpu",
+    "trackers",
+    "workloads",
+    "attacks",
+    "sim",
+    "analysis",
+]

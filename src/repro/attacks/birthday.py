@@ -1,0 +1,51 @@
+"""The naive random-guess (birthday-paradox) attack on RRS (Figure 1a).
+
+This is the attack the original RRS paper analysed: the attacker
+repeatedly picks random rows, hammers each ``TS`` times (forcing a swap),
+and hopes enough of these guesses land on the victim's physical location.
+No latent activations are exploited, so the attack needs roughly
+``swap rate`` correct guesses and takes years — which is why RRS looked
+secure before Juggernaut.
+
+The model is the Juggernaut analytical machinery with zero biasing
+rounds and zero latent contribution.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.analytical import AttackParameters, JuggernautModel, srs_parameters
+
+
+def random_guess_time_to_break_days(
+    trh: int,
+    swap_rate: float,
+    rows_per_bank: int = 128 * 1024,
+    params: AttackParameters = None,
+) -> float:
+    """Days for the naive random-guess attack to break a row-swap defense.
+
+    Args:
+        trh: Row Hammer threshold.
+        swap_rate: ``TRH / TS``.
+        rows_per_bank: ``R``.
+        params: Optional base parameters to override timing constants.
+
+    Returns:
+        Expected days to the first bit flip (``inf`` when infeasible).
+    """
+    base = params or AttackParameters()
+    configured = AttackParameters(
+        trh=trh,
+        ts=max(1, int(round(trh / swap_rate))),
+        rows_per_bank=rows_per_bank,
+        t_rc=base.t_rc,
+        t_rfc=base.t_rfc,
+        refreshes_per_window=base.refreshes_per_window,
+        t_swap=base.t_swap,
+        t_reswap=base.t_reswap,
+        latent_per_round=0.0,
+        refresh_window=base.refresh_window,
+        act_gap=base.act_gap,
+    )
+    model = JuggernautModel(srs_parameters(configured))
+    return model.evaluate(0).time_to_break_days

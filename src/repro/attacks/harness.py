@@ -1,0 +1,71 @@
+"""Security harness: play an access pattern against a defended bank.
+
+Glue for the motivation and security experiments: drives a hammer
+pattern (from :mod:`repro.attacks.patterns`) through a mitigation engine
+attached to a bank, feeding every demand activation into a
+:class:`DisturbanceModel`, then reports whether any victim flipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.mitigation import Mitigation
+from repro.dram.disturbance import DisturbanceModel
+
+
+@dataclass
+class HammerOutcome:
+    """Result of one hammering session."""
+
+    activations: int
+    flipped_rows: List[int]
+    hottest_row: int
+    hottest_disturbance: float
+    victim_refreshes: int
+    duration_ns: float
+
+    @property
+    def any_flip(self) -> bool:
+        return bool(self.flipped_rows)
+
+
+def hammer_pattern(
+    mitigation: Mitigation,
+    disturbance: DisturbanceModel,
+    pattern: Iterable[int],
+    start: float = 0.0,
+    deadline: Optional[float] = None,
+) -> HammerOutcome:
+    """Hammer ``pattern``'s rows in order through ``mitigation``.
+
+    Each access resolves the logical row through the mitigation's
+    indirection (identity for VFM, the RIT for row-swap designs), issues
+    the bank access, disturbs the physical neighbours, and notifies the
+    mitigation. Stops at ``deadline`` if given.
+    """
+    bank = mitigation.bank
+    time = start
+    issued = 0
+    for row in pattern:
+        if deadline is not None and time >= deadline:
+            break
+        if mitigation.is_pinned(row):
+            time += bank.timing.t_rc
+            continue
+        physical = mitigation.resolve(row)
+        result = bank.access(time, physical)
+        disturbance.on_activation(physical, result.start)
+        issued += 1
+        time = max(result.finish, mitigation.on_activation(result.finish, row))
+    hottest_row, hottest = disturbance.hottest()
+    victim_refreshes = getattr(mitigation, "victim_refreshes", 0)
+    return HammerOutcome(
+        activations=issued,
+        flipped_rows=disturbance.flipped_rows(),
+        hottest_row=hottest_row,
+        hottest_disturbance=hottest,
+        victim_refreshes=victim_refreshes,
+        duration_ns=time - start,
+    )

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list-workloads`` — the 78-workload suite with profiles.
+- ``run`` — performance comparison of mitigations on one workload.
+- ``attack`` — the Juggernaut analytical model at a design point.
+- ``security-sweep`` — time-to-break RRS/SRS across swap rates.
+- ``outliers`` — the Figure 13 outlier-appearance model.
+- ``storage`` — Table IV storage breakdowns.
+- ``power`` — Table V power overheads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.power import PowerModel
+from repro.analysis.storage import StorageModel
+from repro.attacks.analytical import AttackParameters, JuggernautModel, srs_parameters
+from repro.attacks.outliers import OutlierModel
+from repro.sim import SimulationParams, compare_mitigations, normalized_performance
+from repro.workloads.suites import ALL_WORKLOADS, PROFILES
+
+
+def _cmd_list_workloads(args: argparse.Namespace) -> int:
+    print(f"{'name':<16s}{'suite':<12s}{'mpki':>7s}{'hot rows':>10s}{'hot frac':>10s}")
+    for spec in ALL_WORKLOADS:
+        if args.suite and spec.suite != args.suite:
+            continue
+        profile = PROFILES.get(spec.components[0])
+        if spec.is_mix:
+            print(f"{spec.name:<16s}{spec.suite:<12s}{'mix of: ' + ', '.join(spec.components)}")
+        else:
+            print(
+                f"{spec.name:<16s}{spec.suite:<12s}{profile.mpki:>7.1f}"
+                f"{profile.hot_row_count:>10d}{profile.hot_access_fraction:>10.3f}"
+            )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = SimulationParams(
+        trh=args.trh,
+        num_cores=args.cores,
+        requests_per_core=args.requests,
+        time_scale=args.time_scale,
+        tracker=args.tracker,
+    )
+    results = compare_mitigations(args.workload, args.mitigations, params)
+    baseline = results["baseline"]
+    print(f"{'design':<14s}{'norm perf':>10s}{'swaps':>8s}{'pins':>6s}{'maxACT':>8s}")
+    for name, result in results.items():
+        norm = normalized_performance(baseline, result)
+        print(f"{name:<14s}{norm:>10.4f}{result.swaps:>8d}{result.pins:>6d}"
+              f"{result.max_row_activations:>8d}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    params = AttackParameters(trh=args.trh, ts=max(2, int(args.trh / args.swap_rate)))
+    rrs = JuggernautModel(params).best(step=args.step)
+    srs = JuggernautModel(srs_parameters(params)).best(step=max(100, args.step))
+    print(f"Juggernaut at TRH={args.trh}, swap rate {args.swap_rate}:")
+    print(f"  RRS: N={rrs.rounds} k={rrs.required_guesses} "
+          f"G={rrs.guesses_per_window:.0f} -> {rrs.time_to_break_days:.4g} days")
+    print(f"  SRS: {srs.time_to_break_days:.4g} days "
+          f"({srs.time_to_break_days / 365:.2f} years)")
+    return 0
+
+
+def _cmd_security_sweep(args: argparse.Namespace) -> int:
+    rates = [float(r) for r in args.rates.split(",")]
+    print(f"{'rate':>6s}{'RRS (days)':>14s}{'SRS (days)':>14s}")
+    for rate in rates:
+        params = AttackParameters(trh=args.trh, ts=max(2, int(args.trh / rate)))
+        rrs = JuggernautModel(params).best(step=20).time_to_break_days
+        srs = JuggernautModel(srs_parameters(params)).best(step=200).time_to_break_days
+        print(f"{rate:>6.1f}{rrs:>14.4g}{srs:>14.4g}")
+    return 0
+
+
+def _cmd_outliers(args: argparse.Namespace) -> int:
+    model = OutlierModel(trh=args.trh, swap_rate=args.swap_rate)
+    print(f"Outlier model at TRH={args.trh}, swap rate {args.swap_rate}:")
+    print(f"  max swaps per window: {model.max_swaps_per_window}")
+    for rows in (1, 2, 3, 4):
+        days = model.time_to_appear_days(rows, k=max(1, int(args.swap_rate)))
+        print(f"  {rows} outlier row(s): once per {days:.4g} days")
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    model = StorageModel(direction_bit_optimization=args.direction_bit)
+    print(f"{'TRH':>6s}{'RRS KB':>9s}{'Scale KB':>10s}{'ratio':>7s}")
+    for trh in (4800, 2400, 1200):
+        rrs = model.breakdown(trh, "rrs").total_kb
+        scale = model.breakdown(trh, "scale-srs").total_kb
+        print(f"{trh:>6d}{rrs:>9.1f}{scale:>10.1f}{rrs / scale:>7.2f}")
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    model = PowerModel()
+    for design, row in model.table(args.trh).items():
+        print(f"{design:<12s} DRAM {row.dram_overhead_percent:.2f}%  "
+              f"SRAM {row.sram_power_mw:.0f} mW")
+    print(f"on-chip saving: {model.sram_power_saving_percent(args.trh):.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable and Secure Row-Swap (HPCA 2023) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list-workloads", help="list the 78-workload suite")
+    p.add_argument("--suite", help="filter by suite name")
+    p.set_defaults(func=_cmd_list_workloads)
+
+    p = sub.add_parser("run", help="performance comparison on one workload")
+    p.add_argument("workload")
+    p.add_argument("--mitigations", nargs="+", default=["rrs", "scale-srs"])
+    p.add_argument("--trh", type=int, default=1200)
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--requests", type=int, default=30_000)
+    p.add_argument("--time-scale", type=int, default=32)
+    p.add_argument("--tracker", default="misra-gries")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("attack", help="Juggernaut analytical model")
+    p.add_argument("--trh", type=int, default=4800)
+    p.add_argument("--swap-rate", type=float, default=6.0)
+    p.add_argument("--step", type=int, default=10)
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("security-sweep", help="time-to-break across swap rates")
+    p.add_argument("--trh", type=int, default=4800)
+    p.add_argument("--rates", default="6,7,8,9,10")
+    p.set_defaults(func=_cmd_security_sweep)
+
+    p = sub.add_parser("outliers", help="Figure 13 outlier model")
+    p.add_argument("--trh", type=int, default=4800)
+    p.add_argument("--swap-rate", type=float, default=3.0)
+    p.set_defaults(func=_cmd_outliers)
+
+    p = sub.add_parser("storage", help="Table IV storage model")
+    p.add_argument("--direction-bit", action="store_true",
+                   help="apply the Section VIII-4 RIT optimisation")
+    p.set_defaults(func=_cmd_storage)
+
+    p = sub.add_parser("power", help="Table V power model")
+    p.add_argument("--trh", type=int, default=4800)
+    p.set_defaults(func=_cmd_power)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""The memory system facade: banks + mitigations + write queues + buses.
+
+This is the component the performance simulator drives. Each request
+flows: pin check (Scale-SRS) -> logical-to-physical translation through
+the mitigation's RIT -> rank refresh alignment -> bank access -> channel
+bus transfer -> tracker notification (which may trigger swaps that occupy
+the bank). Writes are posted through per-channel write queues and drained
+by watermark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.controller.queues import PendingWrite, WriteQueue
+from repro.core.mitigation import BaselineMitigation, Mitigation
+from repro.dram.address import AddressMapper
+from repro.dram.bank import Bank
+from repro.dram.channel import Channel
+from repro.dram.commands import PagePolicy
+from repro.dram.config import SystemConfig
+
+
+MitigationFactory = Callable[[Bank, tuple], Mitigation]
+
+
+@dataclass(slots=True)
+class MemoryRequestOutcome:
+    """Timing of one serviced read."""
+
+    completion: float
+    row_hit: bool
+    served_by_llc: bool
+
+
+def _baseline_factory(bank: Bank, bank_key: tuple) -> Mitigation:
+    return BaselineMitigation(bank)
+
+
+class MemorySystem:
+    """All channels of the machine plus per-bank mitigation engines.
+
+    Args:
+        config: System configuration (Table III by default).
+        mitigation_factory: Builds the per-bank mitigation; defaults to
+            the not-secure baseline.
+        policy: Row-buffer policy for all banks.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig = None,
+        mitigation_factory: Optional[MitigationFactory] = None,
+        policy: PagePolicy = PagePolicy.CLOSED,
+    ):
+        self.config = config or SystemConfig()
+        org = self.config.organization
+        timing = self.config.timing
+        self.mapper = AddressMapper(org)
+        self.policy = policy
+        factory = mitigation_factory or _baseline_factory
+        self.channels: List[Channel] = [
+            Channel(org, timing, policy) for _ in range(org.channels)
+        ]
+        self._banks: List[Bank] = []
+        self.mitigations: List[Mitigation] = []
+        self._ranks_per_channel = org.ranks_per_channel
+        self._banks_per_rank = org.banks_per_rank
+        for ch_index, channel in enumerate(self.channels):
+            for rk_index, rank in enumerate(channel.ranks):
+                for bk_index, bank in enumerate(rank.banks):
+                    self._banks.append(bank)
+                    key = (ch_index, rk_index, bk_index)
+                    self.mitigations.append(factory(bank, key))
+        self.write_queues: List[WriteQueue] = [WriteQueue() for _ in range(org.channels)]
+        self._bus_free: List[float] = [0.0] * org.channels
+        self._window = timing.refresh_window
+        self._next_window_end = self._window
+        self.llc_hits_from_pins = 0
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # indexing helpers
+
+    def bank_index(self, channel: int, rank: int, bank: int) -> int:
+        return (channel * self._ranks_per_channel + rank) * self._banks_per_rank + bank
+
+    def bank(self, channel: int, rank: int, bank: int) -> Bank:
+        return self._banks[self.bank_index(channel, rank, bank)]
+
+    def mitigation(self, channel: int, rank: int, bank: int) -> Mitigation:
+        return self.mitigations[self.bank_index(channel, rank, bank)]
+
+    # ------------------------------------------------------------------
+    # window management
+
+    def _roll_windows(self, time: float) -> None:
+        banks_per_channel = self._ranks_per_channel * self._banks_per_rank
+        while time >= self._next_window_end:
+            boundary = self._next_window_end
+            for mitigation in self.mitigations:
+                mitigation.end_window(boundary)
+            # Window-boundary bursts (the no-unswap ablation's chain
+            # unravel) stream every migrated row through the controller's
+            # swap buffers and the channel data bus, so the per-bank
+            # bursts *serialise* per channel: the channel is frozen for
+            # their sum (the paper's "system freeze" of Section II-F).
+            for index, mitigation in enumerate(self.mitigations):
+                burst = mitigation.epoch_blocking_until - boundary
+                if burst > 0:
+                    channel = index // banks_per_channel
+                    base = max(self._bus_free[channel], boundary)
+                    self._bus_free[channel] = base + burst
+                mitigation.epoch_blocking_until = 0.0
+            self._next_window_end += self._window
+
+    # ------------------------------------------------------------------
+    # request paths
+
+    def _bus_transfer(self, channel: int, ready: float) -> float:
+        t_bl = self.config.timing.t_bl
+        start = max(ready, self._bus_free[channel])
+        self._bus_free[channel] = start + t_bl
+        return start + t_bl
+
+    def read(
+        self, time: float, channel: int, rank: int, bank: int, row: int, column: int = 0
+    ) -> MemoryRequestOutcome:
+        """Service a demand read; returns its completion time."""
+        self._roll_windows(time)
+        self.reads += 1
+        index = self.bank_index(channel, rank, bank)
+        mitigation = self.mitigations[index]
+        mitigation.tick(time)
+        if mitigation.is_pinned(row):
+            self.llc_hits_from_pins += 1
+            return MemoryRequestOutcome(
+                completion=time + self.config.llc_latency_ns,
+                row_hit=False,
+                served_by_llc=True,
+            )
+        write_queue = self.write_queues[channel]
+        if write_queue.needs_drain:
+            self._drain_writes(channel, time)
+        physical = mitigation.resolve(row)
+        bank_obj = self._banks[index]
+        start = self.channels[channel].ranks[rank].adjusted_start(time)
+        result = bank_obj.access(start, physical)
+        completion = self._bus_transfer(channel, result.finish)
+        if result.activated:
+            mitigation.on_activation(result.finish, row)
+        return MemoryRequestOutcome(
+            completion=completion, row_hit=result.row_hit, served_by_llc=False
+        )
+
+    def write(
+        self, time: float, channel: int, rank: int, bank: int, row: int, column: int = 0
+    ) -> None:
+        """Post a write into the channel's write queue."""
+        self._roll_windows(time)
+        self.writes += 1
+        index = self.bank_index(channel, rank, bank)
+        mitigation = self.mitigations[index]
+        if mitigation.is_pinned(row):
+            self.llc_hits_from_pins += 1
+            return
+        queue = self.write_queues[channel]
+        if queue.is_full:
+            self._drain_writes(channel, time)
+        queue.enqueue(PendingWrite(arrival=time, bank_index=index, row=row, column=column))
+
+    def _drain_writes(self, channel: int, time: float, to_empty: bool = False) -> None:
+        def issue(write: PendingWrite) -> None:
+            mitigation = self.mitigations[write.bank_index]
+            physical = mitigation.resolve(write.row)
+            bank_obj = self._banks[write.bank_index]
+            result = bank_obj.access(max(time, write.arrival), physical, is_write=True)
+            self._bus_transfer(channel, result.finish)
+            if result.activated:
+                mitigation.on_activation(result.finish, write.row)
+
+        self.write_queues[channel].drain(issue, to_empty=to_empty)
+
+    def request_address(self, time: float, address: int, is_write: bool):
+        """Address-based entry point (decodes then dispatches)."""
+        decoded = self.mapper.decode(address)
+        if is_write:
+            self.write(time, decoded.channel, decoded.rank, decoded.bank, decoded.row, decoded.column)
+            return None
+        return self.read(time, decoded.channel, decoded.rank, decoded.bank, decoded.row, decoded.column)
+
+    def finalize(self, time: float) -> float:
+        """End of simulation: drain writes and close activation windows.
+
+        Designs with window-boundary bursts (the no-unswap ablation) still
+        owe the unravel for the final partial window; its channel-freeze
+        time is returned so the driver can charge it to the cores (the
+        machine would be frozen for it before any further work).
+        """
+        for channel in range(len(self.channels)):
+            self._drain_writes(channel, time, to_empty=True)
+        banks_per_channel = self._ranks_per_channel * self._banks_per_rank
+        channel_block = [0.0] * len(self.channels)
+        for index, mitigation in enumerate(self.mitigations):
+            mitigation.end_window(time)
+            burst = mitigation.epoch_blocking_until - time
+            if burst > 0:
+                channel_block[index // banks_per_channel] += burst
+            mitigation.epoch_blocking_until = 0.0
+        for bank in self._banks:
+            bank.stats.finalize(time)
+        return max(channel_block) if channel_block else 0.0
+
+    # ------------------------------------------------------------------
+    # aggregate statistics
+
+    def total_swaps(self) -> int:
+        return sum(m.stats.swaps + m.stats.reswaps for m in self.mitigations)
+
+    def total_mitigation_busy_ns(self) -> float:
+        return sum(m.stats.busy_time for m in self.mitigations)
+
+    def max_row_activations(self) -> int:
+        """Highest per-location activation count seen in any window."""
+        peak = 0
+        for bank in self._banks:
+            peak = max(peak, bank.stats.max_count())
+            for record in bank.stats.history:
+                peak = max(peak, record.max_row_activations)
+        return peak

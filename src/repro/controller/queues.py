@@ -1,0 +1,74 @@
+"""Write queue with watermark-based draining (USIMM behaviour).
+
+Writes are not latency-critical: the controller acknowledges them
+immediately and buffers them in a per-channel write queue. When the queue
+fills past its high watermark it drains down to the low watermark,
+occupying banks while it does — which is when writes *do* cost reads
+latency. This is the standard USIMM/DDR write-drain policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass(frozen=True)
+class PendingWrite:
+    """A buffered write: target coordinates plus arrival time."""
+
+    arrival: float
+    bank_index: int
+    row: int
+    column: int
+
+
+class WriteQueue:
+    """Per-channel buffered writes with high/low watermark draining.
+
+    Args:
+        capacity: Maximum buffered writes (per channel).
+        high_watermark: Occupancy triggering a drain.
+        low_watermark: Occupancy at which a drain stops.
+    """
+
+    def __init__(self, capacity: int = 64, high_watermark: int = 40, low_watermark: int = 16):
+        if not 0 < low_watermark < high_watermark <= capacity:
+            raise ValueError("require 0 < low < high <= capacity")
+        self.capacity = capacity
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self._queue: List[PendingWrite] = []
+        self.total_enqueued = 0
+        self.total_drained = 0
+        self.drain_episodes = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def needs_drain(self) -> bool:
+        return len(self._queue) >= self.high_watermark
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def enqueue(self, write: PendingWrite) -> None:
+        if self.is_full:
+            raise OverflowError("write queue full; caller must drain first")
+        self._queue.append(write)
+        self.total_enqueued += 1
+
+    def drain(self, issue: Callable[[PendingWrite], None], to_empty: bool = False) -> int:
+        """Issue buffered writes oldest-first until the low watermark
+        (or empty); returns the number drained."""
+        target = 0 if to_empty else self.low_watermark
+        drained = 0
+        while len(self._queue) > target:
+            issue(self._queue.pop(0))
+            drained += 1
+        if drained:
+            self.total_drained += drained
+            self.drain_episodes += 1
+        return drained

@@ -1,0 +1,68 @@
+"""The paper's primary contribution: row-swap Row Hammer mitigations.
+
+Modules:
+
+- :mod:`repro.core.cat` — Collision Avoidance Table (MIRAGE-style bucketed
+  hash table) used by the Row Indirection Table and the Misra-Gries tracker.
+- :mod:`repro.core.rit` — Row Indirection Tables: the tuple-paired RIT of
+  RRS and the split real/mirrored swap-only RIT of SRS.
+- :mod:`repro.core.mitigation` — the common mitigation interface and the
+  not-secure baseline.
+- :mod:`repro.core.rrs` — Randomized Row-Swap (with and without immediate
+  unswaps).
+- :mod:`repro.core.srs` — Secure Row-Swap: swap-only indirection, lazy
+  evictions, place-back buffer, swap-count attack detection.
+- :mod:`repro.core.scale_srs` — Scale-SRS: reduced swap rate with outlier
+  detection and LLC pinning.
+- :mod:`repro.core.swap_counters` — per-row swap-tracking counters and the
+  epoch register.
+- :mod:`repro.core.pin_buffer` — the pin-buffer redirecting pinned DRAM
+  rows into reserved LLC sets.
+"""
+
+from repro.core.cat import CollisionAvoidanceTable
+from repro.core.rit import RRSIndirectionTable, SRSIndirectionTable
+from repro.core.mitigation import (
+    Mitigation,
+    BaselineMitigation,
+    MitigationEvent,
+    MitigationKind,
+)
+from repro.core.swap_counters import SwapTrackingCounters, EpochRegister
+from repro.core.pin_buffer import PinBuffer
+from repro.core.rrs import RandomizedRowSwap
+from repro.core.srs import SecureRowSwap
+from repro.core.scale_srs import ScaleSecureRowSwap
+from repro.core.vfm import PARA, TargetedRowRefresh, VictimRefreshMitigation
+from repro.core.aqua import AquaQuarantine, QuarantineFullError
+from repro.core.blockhammer import (
+    BlockHammerThrottle,
+    BloomParameters,
+    CountingBloomFilter,
+    DualBloomFilter,
+)
+
+__all__ = [
+    "CollisionAvoidanceTable",
+    "RRSIndirectionTable",
+    "SRSIndirectionTable",
+    "Mitigation",
+    "BaselineMitigation",
+    "MitigationEvent",
+    "MitigationKind",
+    "SwapTrackingCounters",
+    "EpochRegister",
+    "PinBuffer",
+    "RandomizedRowSwap",
+    "SecureRowSwap",
+    "ScaleSecureRowSwap",
+    "PARA",
+    "TargetedRowRefresh",
+    "VictimRefreshMitigation",
+    "AquaQuarantine",
+    "QuarantineFullError",
+    "BlockHammerThrottle",
+    "BloomParameters",
+    "CountingBloomFilter",
+    "DualBloomFilter",
+]

@@ -1,0 +1,150 @@
+"""AQUA-style quarantine mitigation (Saxena et al., MICRO 2022).
+
+The other aggressor-focused design the paper compares against
+(Section IX-A): instead of swapping an aggressor with a *random* row,
+AQUA migrates it into a dedicated *quarantine region* of DRAM. Victims
+adjacent to quarantined rows are themselves quarantine rows (empty or
+other aggressors), so hammering a quarantined row cannot flip useful
+data. The quarantine is recycled each refresh window.
+
+Compared to Scale-SRS (the paper's discussion): AQUA needs a reserved
+DRAM region and a forward/reverse mapping table, but each migration
+moves only one row (half a swap's traffic) and there are no latent
+activations at the original location beyond the single migration.
+
+This engine exists as a comparator for the aggressor-focused design
+space; it reuses the repository's tracker and bank substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.mitigation import (
+    Mitigation,
+    MitigationEvent,
+    MitigationKind,
+)
+from repro.dram.bank import Bank
+from repro.trackers.base import Tracker
+
+
+class QuarantineFullError(RuntimeError):
+    """Raised when the quarantine region overflows within one window."""
+
+
+class AquaQuarantine(Mitigation):
+    """Quarantine-based aggressor migration for one bank.
+
+    Args:
+        bank: Protected bank. The top ``quarantine_rows`` rows of the
+            bank are reserved as the quarantine region (AQUA reserves
+            about 1% of DRAM).
+        tracker: Tracker with the migration threshold.
+        quarantine_rows: Size of the reserved region; must cover the
+            maximum migrations per window (``ACT_max / threshold``).
+    """
+
+    def __init__(
+        self,
+        bank: Bank,
+        tracker: Tracker,
+        quarantine_rows: Optional[int] = None,
+        keep_events: bool = False,
+    ):
+        super().__init__(bank, tracker, keep_events)
+        needed = -(-bank.timing.max_activations_per_window // tracker.threshold)
+        self.quarantine_rows = quarantine_rows if quarantine_rows is not None else needed + 8
+        if self.quarantine_rows >= bank.num_rows:
+            raise ValueError("quarantine cannot cover the whole bank")
+        self._quarantine_base = bank.num_rows - self.quarantine_rows
+        self._next_slot = 0
+        # forward: logical row -> quarantine slot row; reverse for lookups.
+        self._forward: Dict[int, int] = {}
+        self._reverse: Dict[int, int] = {}
+        self.migrations = 0
+        # Migration moves one row: half the row-swap traffic.
+        self.t_migrate = bank.timing.t_swap / 2.0
+
+    @property
+    def quarantine_base(self) -> int:
+        return self._quarantine_base
+
+    def resolve(self, row: int) -> int:
+        return self._forward.get(row, row)
+
+    def is_quarantined(self, row: int) -> bool:
+        return row in self._forward
+
+    def quarantined_rows(self) -> List[int]:
+        return list(self._forward)
+
+    def on_activation(self, time: float, row: int) -> float:
+        observation = self.tracker.observe(row)
+        if observation.extra_dram_accesses:
+            timing = self.bank.timing
+            time = self.bank.occupy(
+                time, observation.extra_dram_accesses * (timing.t_cas + timing.t_bl)
+            )
+        if not observation.triggered:
+            return time
+        return self._migrate(time, row)
+
+    def _migrate(self, time: float, row: int) -> float:
+        """Move ``row``'s data to the next quarantine slot."""
+        if self._next_slot >= self.quarantine_rows:
+            raise QuarantineFullError(
+                "quarantine exhausted before the window ended; "
+                "region under-provisioned for this threshold"
+            )
+        source = self.resolve(row)
+        target = self._quarantine_base + self._next_slot
+        self._next_slot += 1
+        end = self.bank.occupy(time, self.t_migrate)
+        # One activation at the source (read+restore) and one at the
+        # quarantine destination (write).
+        self.bank.stats.record(source, time)
+        self.bank.stats.record(target, time)
+        if row in self._forward:
+            del self._reverse[self._forward[row]]
+        self._forward[row] = target
+        self._reverse[target] = row
+        self.migrations += 1
+        self._log(
+            MitigationEvent(
+                kind=MitigationKind.SWAP,
+                time=time,
+                row=row,
+                partner=target,
+                duration=self.t_migrate,
+            )
+        )
+        return end
+
+    def end_window(self, time: float) -> None:
+        """Recycle the quarantine: migrate everyone home.
+
+        AQUA drains lazily in hardware; the functional model restores the
+        mapping and charges one migration per resident row spread over
+        the boundary (bank busy time).
+        """
+        super().end_window(time)
+        cursor = time
+        for row in list(self._forward):
+            target = self._forward.pop(row)
+            del self._reverse[target]
+            self.bank.stats.record(row, cursor)
+            cursor = self.bank.occupy(cursor, self.t_migrate)
+            self._log(
+                MitigationEvent(
+                    kind=MitigationKind.PLACE_BACK,
+                    time=cursor,
+                    row=row,
+                    duration=self.t_migrate,
+                )
+            )
+        self._next_slot = 0
+
+    def reserved_fraction(self) -> float:
+        """Share of the bank sacrificed to the quarantine region."""
+        return self.quarantine_rows / self.bank.num_rows

@@ -1,0 +1,215 @@
+"""Collision Avoidance Table (CAT).
+
+The RIT in RRS/SRS and the Misra-Gries tracker are modelled as CAT
+structures (the paper cites MIRAGE [50]). A CAT is a bucketed hash table
+with power-of-two-choices insertion and deliberate over-provisioning so
+that, with overwhelming probability, no bucket ever overflows — making the
+structure resilient to conflict-based (hash-collision) attacks.
+
+This implementation provides:
+
+- two keyed hash functions (splitmix64-based, seeded per instance so an
+  adversary cannot precompute collisions);
+- load-balancing insertion into the less-occupied candidate bucket;
+- lock bits distinguishing current-epoch entries from stale ones;
+- random eviction of unlocked entries when room must be made.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One round of the splitmix64 mixing function."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+@dataclass
+class CATEntry:
+    """One occupied slot of the CAT."""
+
+    key: int
+    value: int
+    locked: bool = True
+
+
+class CATOverflowError(RuntimeError):
+    """Raised when both candidate buckets are full of locked entries.
+
+    A correctly provisioned CAT should (essentially) never raise this; the
+    exception exists so that tests can verify the provisioning math.
+    """
+
+
+class CollisionAvoidanceTable:
+    """A two-choice bucketed hash table with lock-bit epochs.
+
+    Args:
+        num_entries: Nominal capacity (number of slots across all buckets).
+        bucket_size: Slots per bucket (MIRAGE uses 8).
+        overprovision: Multiplicative slack on the slot count; the CAT is
+            sized to ``num_entries * overprovision`` slots, rounded up to a
+            power-of-two bucket count. RRS over-provisions to defeat
+            collision-based attacks.
+        rng: Source of randomness for hash seeds and evictions.
+    """
+
+    def __init__(
+        self,
+        num_entries: int,
+        bucket_size: int = 8,
+        overprovision: float = 1.5,
+        rng: Optional[random.Random] = None,
+    ):
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        if bucket_size <= 0:
+            raise ValueError("bucket_size must be positive")
+        if overprovision < 1.0:
+            raise ValueError("overprovision must be >= 1.0")
+        self.rng = rng or random.Random(0xCA7)
+        self.bucket_size = bucket_size
+        slots_needed = int(num_entries * overprovision)
+        buckets = max(2, -(-slots_needed // bucket_size))
+        # Round bucket count up to a power of two for cheap masking.
+        self.num_buckets = 1 << (buckets - 1).bit_length()
+        self._seed0 = self.rng.getrandbits(64)
+        self._seed1 = self.rng.getrandbits(64)
+        self._buckets: List[List[CATEntry]] = [[] for _ in range(self.num_buckets)]
+        self._index: Dict[int, CATEntry] = {}
+        self.nominal_capacity = num_entries
+        self.inserts = 0
+        self.evictions = 0
+
+    def _hash(self, key: int, which: int) -> int:
+        seed = self._seed0 if which == 0 else self._seed1
+        return _splitmix64(key ^ seed) & (self.num_buckets - 1)
+
+    def _candidate_buckets(self, key: int) -> Tuple[int, int]:
+        return self._hash(key, 0), self._hash(key, 1)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._index
+
+    def get(self, key: int) -> Optional[int]:
+        """Value stored for ``key``, or ``None``."""
+        entry = self._index.get(key)
+        return entry.value if entry is not None else None
+
+    def entry(self, key: int) -> Optional[CATEntry]:
+        return self._index.get(key)
+
+    def is_locked(self, key: int) -> bool:
+        entry = self._index.get(key)
+        return bool(entry and entry.locked)
+
+    def insert(self, key: int, value: int, locked: bool = True) -> Optional[Tuple[int, int]]:
+        """Insert or update ``key -> value``.
+
+        Returns the ``(key, value)`` of an entry evicted to make room, or
+        ``None`` if no eviction was needed. Updating an existing key locks
+        it (it belongs to the current epoch again).
+
+        Raises:
+            CATOverflowError: if both candidate buckets are full of locked
+                entries (the CAT was under-provisioned).
+        """
+        existing = self._index.get(key)
+        if existing is not None:
+            existing.value = value
+            existing.locked = locked
+            return None
+
+        b0, b1 = self._candidate_buckets(key)
+        evicted = None
+        if len(self._buckets[b0]) <= len(self._buckets[b1]):
+            target = b0
+        else:
+            target = b1
+        if len(self._buckets[target]) >= self.bucket_size:
+            # The balanced choice is full; try the other one.
+            other = b1 if target == b0 else b0
+            if len(self._buckets[other]) < self.bucket_size:
+                target = other
+            else:
+                evicted = self._evict_from(target) or self._evict_from(
+                    b1 if target == b0 else b0
+                )
+                if evicted is None:
+                    raise CATOverflowError(
+                        f"both buckets for key {key} are full of locked entries"
+                    )
+        entry = CATEntry(key=key, value=value, locked=locked)
+        self._buckets[target].append(entry)
+        self._index[key] = entry
+        self.inserts += 1
+        return evicted
+
+    def _evict_from(self, bucket_index: int) -> Optional[Tuple[int, int]]:
+        """Randomly evict one *unlocked* entry from ``bucket_index``."""
+        bucket = self._buckets[bucket_index]
+        unlocked = [i for i, e in enumerate(bucket) if not e.locked]
+        if not unlocked:
+            return None
+        victim_pos = self.rng.choice(unlocked)
+        victim = bucket.pop(victim_pos)
+        del self._index[victim.key]
+        self.evictions += 1
+        return (victim.key, victim.value)
+
+    def remove(self, key: int) -> Optional[int]:
+        """Remove ``key``; returns its value or ``None`` if absent."""
+        entry = self._index.pop(key, None)
+        if entry is None:
+            return None
+        for which in (0, 1):
+            bucket = self._buckets[self._hash(key, which)]
+            for i, e in enumerate(bucket):
+                if e.key == key:
+                    bucket.pop(i)
+                    return entry.value
+        raise AssertionError(f"index/bucket desync for key {key}")
+
+    def unlock_all(self) -> int:
+        """Epoch rollover: clear every lock bit. Returns entries unlocked."""
+        n = 0
+        for entry in self._index.values():
+            if entry.locked:
+                entry.locked = False
+                n += 1
+        return n
+
+    def locked_count(self) -> int:
+        return sum(1 for e in self._index.values() if e.locked)
+
+    def unlocked_items(self) -> List[Tuple[int, int]]:
+        """``(key, value)`` pairs for all stale (previous-epoch) entries."""
+        return [(e.key, e.value) for e in self._index.values() if not e.locked]
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        for key, entry in self._index.items():
+            yield key, entry.value
+
+    @property
+    def load_factor(self) -> float:
+        return len(self._index) / (self.num_buckets * self.bucket_size)
+
+    def occupancy_histogram(self) -> Dict[int, int]:
+        """Histogram: bucket occupancy -> number of buckets."""
+        hist: Dict[int, int] = {}
+        for bucket in self._buckets:
+            hist[len(bucket)] = hist.get(len(bucket), 0) + 1
+        return hist

@@ -1,0 +1,141 @@
+"""Common interface for Row Hammer mitigations attached to a bank.
+
+A mitigation instance covers one DRAM bank. The memory controller calls
+:meth:`Mitigation.resolve` to translate a logical row to the physical
+location holding its data, :meth:`Mitigation.on_activation` after every
+demand activation (so the tracker sees it and may trigger a swap), and
+:meth:`Mitigation.tick` periodically so lazy background work (SRS
+place-backs) can proceed.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dram.bank import Bank
+from repro.trackers.base import Tracker
+
+
+class MitigationKind(enum.Enum):
+    """Classes of mitigative actions, for event accounting."""
+
+    SWAP = "swap"
+    UNSWAP = "unswap"
+    RESWAP = "reswap"
+    PLACE_BACK = "place_back"
+    PIN = "pin"
+    UNPIN = "unpin"
+    COUNTER_ACCESS = "counter_access"
+    EPOCH_UNRAVEL = "epoch_unravel"
+
+
+@dataclass
+class MitigationEvent:
+    """One mitigative action, for logs and tests."""
+
+    kind: MitigationKind
+    time: float
+    row: int
+    partner: Optional[int] = None
+    duration: float = 0.0
+
+
+@dataclass
+class MitigationStats:
+    """Aggregate counters over a mitigation's lifetime."""
+
+    swaps: int = 0
+    unswaps: int = 0
+    reswaps: int = 0
+    place_backs: int = 0
+    pins: int = 0
+    counter_accesses: int = 0
+    busy_time: float = 0.0
+    epoch_unravel_time: float = 0.0
+    events: List[MitigationEvent] = field(default_factory=list)
+
+    def record(self, event: MitigationEvent, keep_events: bool) -> None:
+        if keep_events:
+            self.events.append(event)
+        self.busy_time += event.duration
+        if event.kind is MitigationKind.SWAP:
+            self.swaps += 1
+        elif event.kind is MitigationKind.UNSWAP:
+            self.unswaps += 1
+        elif event.kind is MitigationKind.RESWAP:
+            self.reswaps += 1
+        elif event.kind is MitigationKind.PLACE_BACK:
+            self.place_backs += 1
+        elif event.kind is MitigationKind.PIN:
+            self.pins += 1
+        elif event.kind is MitigationKind.COUNTER_ACCESS:
+            self.counter_accesses += 1
+        elif event.kind is MitigationKind.EPOCH_UNRAVEL:
+            self.epoch_unravel_time += event.duration
+
+
+class Mitigation(abc.ABC):
+    """Base class for per-bank Row Hammer mitigations.
+
+    Args:
+        bank: The bank this mitigation protects; used to record latent
+            activations and to occupy the bank during data movement.
+        tracker: Aggressor-row tracker configured with the swap threshold
+            ``TS``.
+        keep_events: Whether to retain a full :class:`MitigationEvent`
+            log (tests) or only aggregate counters (long simulations).
+    """
+
+    def __init__(self, bank: Bank, tracker: Optional[Tracker], keep_events: bool = False):
+        self.bank = bank
+        self.tracker = tracker
+        self.keep_events = keep_events
+        self.stats = MitigationStats()
+        # Set by designs whose window-boundary work monopolises the
+        # channel (the no-unswap ablation's chain unravel): the memory
+        # system stalls the channel bus until this instant.
+        self.epoch_blocking_until: float = 0.0
+
+    def resolve(self, row: int) -> int:
+        """Physical location currently holding ``row``'s data."""
+        return row
+
+    def is_pinned(self, row: int) -> bool:
+        """True if accesses to ``row`` are served from the LLC (Scale-SRS)."""
+        return False
+
+    @abc.abstractmethod
+    def on_activation(self, time: float, row: int) -> float:
+        """Notify the mitigation of a demand ACT on logical ``row``.
+
+        Returns the time at which any triggered mitigative work completes
+        (== ``time`` when nothing was triggered). The bank's busy state is
+        already updated; callers only need the value for latency
+        attribution.
+        """
+
+    def tick(self, time: float) -> None:
+        """Advance lazy background work up to ``time``."""
+
+    def end_window(self, time: float) -> None:
+        """Refresh-window boundary: reset tracker and epoch state."""
+        if self.tracker is not None:
+            self.tracker.end_window()
+
+    def _log(self, event: MitigationEvent) -> None:
+        self.stats.record(event, self.keep_events)
+
+
+class BaselineMitigation(Mitigation):
+    """The not-secure baseline: observes activations, never mitigates."""
+
+    def __init__(self, bank: Bank, tracker: Optional[Tracker] = None, keep_events: bool = False):
+        super().__init__(bank, tracker, keep_events)
+
+    def on_activation(self, time: float, row: int) -> float:
+        if self.tracker is not None:
+            self.tracker.observe(row)
+        return time

@@ -1,0 +1,235 @@
+"""Per-bank row-buffer state machine with activation accounting.
+
+The bank is the unit at which Row Hammer matters: each ``ACT`` to a row
+disturbs its physical neighbours, and mitigations must bound per-row ACT
+counts within a refresh window. :class:`ActivationStats` therefore counts
+ACTs per *physical* row per refresh window — including the latent
+activations induced by swap and unswap operations — so that security
+harnesses can verify whether any physical location crossed ``TRH``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.commands import PagePolicy
+from repro.dram.config import DRAMTiming
+
+
+@dataclass
+class WindowRecord:
+    """Summary of activation activity in one completed refresh window."""
+
+    window_index: int
+    total_activations: int
+    max_row_activations: int
+    hottest_row: Optional[int]
+    rows_activated: int
+
+
+class ActivationStats:
+    """Counts ACTs per physical row within rolling refresh windows.
+
+    The window boundary is aligned to multiples of ``refresh_window``; this
+    matches the paper's model in which tracker state and the attack budget
+    reset each 64 ms epoch.
+    """
+
+    def __init__(self, refresh_window: float):
+        if refresh_window <= 0:
+            raise ValueError("refresh_window must be positive")
+        self.refresh_window = refresh_window
+        self._counts: Counter = Counter()
+        self._window_index = 0
+        self.history: List[WindowRecord] = []
+        self.lifetime_activations = 0
+
+    @property
+    def window_index(self) -> int:
+        return self._window_index
+
+    def _roll_to(self, window_index: int) -> None:
+        while self._window_index < window_index:
+            self._finalize_current()
+            self._window_index += 1
+
+    def _finalize_current(self) -> None:
+        if self._counts:
+            hottest, hottest_count = max(self._counts.items(), key=lambda kv: kv[1])
+            record = WindowRecord(
+                window_index=self._window_index,
+                total_activations=sum(self._counts.values()),
+                max_row_activations=hottest_count,
+                hottest_row=hottest,
+                rows_activated=len(self._counts),
+            )
+        else:
+            record = WindowRecord(
+                window_index=self._window_index,
+                total_activations=0,
+                max_row_activations=0,
+                hottest_row=None,
+                rows_activated=0,
+            )
+        self.history.append(record)
+        self._counts.clear()
+
+    def record(self, row: int, time: float) -> int:
+        """Record one ACT on ``row`` at ``time``; returns the new count."""
+        window = int(time // self.refresh_window)
+        if window < self._window_index:
+            raise ValueError(
+                f"activation at t={time} precedes current window {self._window_index}"
+            )
+        self._roll_to(window)
+        self._counts[row] += 1
+        self.lifetime_activations += 1
+        return self._counts[row]
+
+    def count(self, row: int) -> int:
+        """ACT count of ``row`` in the current window."""
+        return self._counts.get(row, 0)
+
+    def max_count(self) -> int:
+        """Highest per-row ACT count in the current window."""
+        return max(self._counts.values()) if self._counts else 0
+
+    def rows_at_or_above(self, threshold: int) -> List[int]:
+        """Rows whose current-window count is >= ``threshold``."""
+        return [row for row, n in self._counts.items() if n >= threshold]
+
+    def current_counts(self) -> Dict[int, int]:
+        """Copy of the current window's per-row counts."""
+        return dict(self._counts)
+
+    def finalize(self, time: float) -> None:
+        """Close out all windows up to and including the one at ``time``."""
+        self._roll_to(int(time // self.refresh_window) + 1)
+
+    def ever_exceeded(self, threshold: int) -> bool:
+        """True if any row crossed ``threshold`` in any window so far."""
+        if any(rec.max_row_activations >= threshold for rec in self.history):
+            return True
+        return self.max_count() >= threshold
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Timing outcome of one column access serviced by a bank."""
+
+    start: float
+    finish: float
+    row_hit: bool
+    activated: bool
+
+
+class Bank:
+    """One DRAM bank: a row buffer plus timing and activation state.
+
+    The model is event-driven at access granularity. Each access computes
+    when the bank can start serving it (respecting ``tRC`` between ACTs and
+    any time the bank is occupied by refresh or swap operations) and what
+    latency the access sees under the configured page policy.
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        timing: DRAMTiming = None,
+        policy: PagePolicy = PagePolicy.CLOSED,
+    ):
+        if num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        self.num_rows = num_rows
+        self.timing = timing or DRAMTiming()
+        self.policy = policy
+        self.open_row: Optional[int] = None
+        self.busy_until: float = 0.0
+        self.last_act_time: float = float("-inf")
+        self.stats = ActivationStats(self.timing.refresh_window)
+        self.total_accesses = 0
+        self.row_hits = 0
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.num_rows:
+            raise ValueError(f"row {row} out of range [0, {self.num_rows})")
+
+    def _earliest_act(self, time: float) -> float:
+        """Earliest instant a new ACT may be issued at or after ``time``."""
+        return max(time, self.busy_until, self.last_act_time + self.timing.t_rc)
+
+    def activate(self, time: float, row: int) -> float:
+        """Issue a raw ACT to ``row``; returns the ACT issue time.
+
+        Used both by normal accesses and by the swap engines to model the
+        latent activations of swap/unswap operations.
+        """
+        self._check_row(row)
+        t = self.timing
+        start = self._earliest_act(time)
+        if self.open_row is not None:
+            start += t.t_rp
+        self.open_row = row
+        self.last_act_time = start
+        self.busy_until = max(self.busy_until, start + t.t_rcd)
+        self.stats.record(row, start)
+        return start
+
+    def precharge(self, time: float) -> float:
+        """Close the open row; returns the time the bank becomes idle."""
+        start = max(time, self.busy_until)
+        if self.open_row is None:
+            return start
+        self.open_row = None
+        self.busy_until = start + self.timing.t_rp
+        return self.busy_until
+
+    def access(self, time: float, row: int, is_write: bool = False) -> AccessResult:
+        """Service one column access to ``row`` arriving at ``time``."""
+        self._check_row(row)
+        t = self.timing
+        self.total_accesses += 1
+        if self.policy is PagePolicy.OPEN and self.open_row == row:
+            self.row_hits += 1
+            start = max(time, self.busy_until)
+            finish = start + t.t_cas + t.t_bl
+            self.busy_until = finish
+            return AccessResult(start=start, finish=finish, row_hit=True, activated=False)
+
+        start = self._earliest_act(time)
+        if self.open_row is not None:
+            # Conflict (open policy) or normal close (closed policy with a
+            # lingering open row from a swap): precharge first.
+            start += t.t_rp
+        self.open_row = row
+        self.last_act_time = start
+        self.stats.record(row, start)
+        finish = start + t.t_rcd + t.t_cas + t.t_bl
+        if self.policy is PagePolicy.CLOSED:
+            # Auto-precharge: the bank is busy until the row is closed, but
+            # the data is available at `finish`.
+            self.open_row = None
+            self.busy_until = max(finish, start + t.t_rc)
+        else:
+            self.busy_until = finish
+        return AccessResult(start=start, finish=finish, row_hit=False, activated=True)
+
+    def occupy(self, time: float, duration: float) -> float:
+        """Block the bank for ``duration`` ns (refresh, swap data movement).
+
+        Returns the time the occupation ends. Any open row is closed.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(time, self.busy_until)
+        self.open_row = None
+        self.busy_until = start + duration
+        return self.busy_until
+
+    @property
+    def row_hit_rate(self) -> float:
+        if self.total_accesses == 0:
+            return 0.0
+        return self.row_hits / self.total_accesses

@@ -1,0 +1,75 @@
+"""Rank and channel containers aggregating banks.
+
+A :class:`Channel` owns its ranks and exposes bank lookup by decoded
+address. Refresh is modelled per rank (all-bank refresh, as on DDR4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.dram.bank import Bank
+from repro.dram.commands import PagePolicy
+from repro.dram.config import DRAMOrganization, DRAMTiming
+from repro.dram.refresh import RefreshScheduler
+
+
+class Rank:
+    """A rank: a set of banks sharing a refresh schedule."""
+
+    def __init__(
+        self,
+        num_banks: int,
+        rows_per_bank: int,
+        timing: DRAMTiming = None,
+        policy: PagePolicy = PagePolicy.CLOSED,
+    ):
+        self.timing = timing or DRAMTiming()
+        self.banks: List[Bank] = [
+            Bank(rows_per_bank, self.timing, policy) for _ in range(num_banks)
+        ]
+        self.refresh = RefreshScheduler(self.timing)
+
+    def bank(self, index: int) -> Bank:
+        return self.banks[index]
+
+    def adjusted_start(self, time: float) -> float:
+        """Push ``time`` past any in-progress refresh on this rank."""
+        return self.refresh.delay_through(time)
+
+    def __len__(self) -> int:
+        return len(self.banks)
+
+    def __iter__(self) -> Iterator[Bank]:
+        return iter(self.banks)
+
+
+class Channel:
+    """A channel: ranks behind one memory bus / controller."""
+
+    def __init__(
+        self,
+        organization: DRAMOrganization = None,
+        timing: DRAMTiming = None,
+        policy: PagePolicy = PagePolicy.CLOSED,
+    ):
+        self.organization = organization or DRAMOrganization()
+        self.timing = timing or DRAMTiming()
+        org = self.organization
+        self.ranks: List[Rank] = [
+            Rank(org.banks_per_rank, org.rows_per_bank, self.timing, policy)
+            for _ in range(org.ranks_per_channel)
+        ]
+
+    def rank(self, index: int) -> Rank:
+        return self.ranks[index]
+
+    def bank(self, rank: int, bank: int) -> Bank:
+        return self.ranks[rank].banks[bank]
+
+    def all_banks(self) -> Iterator[Bank]:
+        for rank in self.ranks:
+            yield from rank.banks
+
+    def __len__(self) -> int:
+        return len(self.ranks)

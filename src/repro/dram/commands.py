@@ -1,0 +1,30 @@
+"""DRAM command and policy definitions."""
+
+from __future__ import annotations
+
+import enum
+
+
+class DRAMCommand(enum.Enum):
+    """Commands a memory controller may issue to a DRAM bank."""
+
+    ACT = "activate"
+    PRE = "precharge"
+    RD = "read"
+    WR = "write"
+    REF = "refresh"
+    SWAP = "swap"
+    UNSWAP = "unswap"
+    RESWAP = "reswap"
+
+
+class PagePolicy(enum.Enum):
+    """Row-buffer management policy of the memory controller.
+
+    The paper's analytical model (Section III-B) assumes a closed-page
+    policy; Section VIII-3 discusses how an open-page policy weakens (but
+    does not defeat) the Juggernaut attack pattern.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"

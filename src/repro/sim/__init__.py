@@ -1,0 +1,25 @@
+"""End-to-end performance simulation: wiring, drivers, and sweeps."""
+
+from repro.sim.factory import make_mitigation_factory, make_tracker, MITIGATION_NAMES
+from repro.sim.results import SimulationResult, normalized_performance
+from repro.sim.simulator import PerformanceSimulation, SimulationParams
+from repro.sim.runner import (
+    run_workload,
+    compare_mitigations,
+    sweep_trh,
+    suite_geomeans,
+)
+
+__all__ = [
+    "make_mitigation_factory",
+    "make_tracker",
+    "MITIGATION_NAMES",
+    "SimulationResult",
+    "normalized_performance",
+    "PerformanceSimulation",
+    "SimulationParams",
+    "run_workload",
+    "compare_mitigations",
+    "sweep_trh",
+    "suite_geomeans",
+]

@@ -1,0 +1,105 @@
+"""Builders wiring trackers and mitigation engines onto banks."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.mitigation import BaselineMitigation, Mitigation
+from repro.core.pin_buffer import PinBuffer
+from repro.core.rrs import RandomizedRowSwap
+from repro.core.scale_srs import ScaleSecureRowSwap
+from repro.core.srs import SecureRowSwap
+from repro.dram.bank import Bank
+from repro.dram.config import DRAMTiming
+from repro.trackers.base import ExactTracker, Tracker
+from repro.trackers.hydra import HydraConfig, HydraTracker
+from repro.trackers.misra_gries import MisraGriesTracker
+
+MITIGATION_NAMES = ("baseline", "rrs", "rrs-no-unswap", "srs", "scale-srs")
+TRACKER_NAMES = ("misra-gries", "hydra", "exact")
+
+DEFAULT_SWAP_RATES = {
+    "rrs": 6.0,
+    "rrs-no-unswap": 6.0,
+    "srs": 6.0,
+    "scale-srs": 3.0,
+}
+
+
+def swap_threshold(trh: int, swap_rate: float) -> int:
+    """``TS`` for a given threshold and swap rate (at least 2)."""
+    return max(2, int(round(trh / swap_rate)))
+
+
+def make_tracker(
+    name: str,
+    ts: int,
+    timing: DRAMTiming,
+) -> Tracker:
+    """Build a tracker sized for ``TS`` under the given timing."""
+    if name == "misra-gries":
+        entries = MisraGriesTracker.required_entries(
+            timing.max_activations_per_window, ts
+        )
+        return MisraGriesTracker(ts, max(4, entries))
+    if name == "hydra":
+        return HydraTracker(ts, HydraConfig())
+    if name == "exact":
+        return ExactTracker(ts)
+    raise ValueError(f"unknown tracker {name!r}; options: {TRACKER_NAMES}")
+
+
+def make_mitigation_factory(
+    name: str,
+    trh: int,
+    timing: DRAMTiming,
+    swap_rate: Optional[float] = None,
+    tracker: str = "misra-gries",
+    seed: int = 99,
+    pin_buffer: Optional[PinBuffer] = None,
+    keep_events: bool = False,
+) -> Callable[[Bank, tuple], Mitigation]:
+    """Factory of per-bank mitigation engines for :class:`MemorySystem`.
+
+    Args:
+        name: One of ``MITIGATION_NAMES``.
+        trh: Row Hammer threshold (in the timing's window units).
+        timing: DRAM timing (drives tracker and RIT sizing).
+        swap_rate: ``TRH / TS``; defaults to 6 (RRS/SRS) or 3 (Scale-SRS).
+        tracker: Tracker type per bank.
+        seed: Base RNG seed; each bank derives its own stream.
+        pin_buffer: Shared pin-buffer for Scale-SRS (created if absent).
+        keep_events: Retain per-event mitigation logs (tests only).
+    """
+    if name not in MITIGATION_NAMES:
+        raise ValueError(f"unknown mitigation {name!r}; options: {MITIGATION_NAMES}")
+    if name == "baseline":
+        return lambda bank, key: BaselineMitigation(bank)
+
+    rate = swap_rate if swap_rate is not None else DEFAULT_SWAP_RATES[name]
+    ts = swap_threshold(trh, rate)
+    # `is not None` matters: an empty PinBuffer is falsy (len == 0).
+    shared_pins = pin_buffer if pin_buffer is not None else PinBuffer()
+
+    def factory(bank: Bank, bank_key: tuple) -> Mitigation:
+        rng = random.Random((seed << 16) ^ hash(bank_key))
+        bank_tracker = make_tracker(tracker, ts, bank.timing)
+        if name == "rrs":
+            return RandomizedRowSwap(bank, bank_tracker, rng, keep_events=keep_events)
+        if name == "rrs-no-unswap":
+            return RandomizedRowSwap(
+                bank, bank_tracker, rng, immediate_unswap=False, keep_events=keep_events
+            )
+        if name == "srs":
+            return SecureRowSwap(bank, bank_tracker, rng, keep_events=keep_events)
+        return ScaleSecureRowSwap(
+            bank,
+            bank_tracker,
+            rng,
+            pin_buffer=shared_pins,
+            bank_key=bank_key,
+            keep_events=keep_events,
+        )
+
+    return factory

@@ -1,0 +1,84 @@
+"""Result records for performance simulations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.cpu.core import CoreResult
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one workload under one mitigation."""
+
+    workload: str
+    suite: str
+    mitigation: str
+    trh: int
+    swap_rate: float
+    tracker: str
+    cores: List[CoreResult] = field(default_factory=list)
+    swaps: int = 0
+    place_backs: int = 0
+    pins: int = 0
+    mitigation_busy_ns: float = 0.0
+    max_row_activations: int = 0
+    llc_pin_hits: int = 0
+
+    @property
+    def sum_ipc(self) -> float:
+        return sum(core.ipc for core in self.cores)
+
+    @property
+    def finish_time_ns(self) -> float:
+        return max((core.finish_time_ns for core in self.cores), default=0.0)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(core.instructions for core in self.cores)
+
+    @property
+    def total_memory_accesses(self) -> int:
+        return sum(core.memory_reads + core.memory_writes for core in self.cores)
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload:<14s} {self.mitigation:<13s} TRH={self.trh:<6d} "
+            f"sumIPC={self.sum_ipc:7.3f} swaps={self.swaps:<6d} "
+            f"maxACT={self.max_row_activations}"
+        )
+
+
+def normalized_performance(baseline: SimulationResult, candidate: SimulationResult) -> float:
+    """Performance of ``candidate`` relative to ``baseline`` (<= 1 when the
+    mitigation slows the system down)."""
+    if baseline.sum_ipc <= 0:
+        raise ValueError("baseline has zero IPC")
+    return candidate.sum_ipc / baseline.sum_ipc
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's cross-workload aggregation)."""
+    if not values:
+        raise ValueError("no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def slowdown_percent(normalized: float) -> float:
+    """Slowdown in percent from a normalized performance value."""
+    return (1.0 - normalized) * 100.0
+
+
+def group_by_suite(
+    normalized: Dict[str, float], workload_suites: Dict[str, str]
+) -> Dict[str, float]:
+    """Per-suite geometric means of normalized performance."""
+    buckets: Dict[str, List[float]] = {}
+    for workload, value in normalized.items():
+        suite = workload_suites[workload]
+        buckets.setdefault(suite, []).append(value)
+    return {suite: geometric_mean(values) for suite, values in buckets.items()}

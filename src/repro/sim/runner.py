@@ -1,0 +1,110 @@
+"""Experiment runner: workload lookup, comparisons, and threshold sweeps."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.sim.results import (
+    SimulationResult,
+    geometric_mean,
+    normalized_performance,
+)
+from repro.sim.simulator import PerformanceSimulation, SimulationParams
+from repro.workloads.suites import ALL_WORKLOADS, WorkloadSpec
+
+WorkloadLike = Union[str, WorkloadSpec]
+
+
+def _resolve(workload: WorkloadLike) -> WorkloadSpec:
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    for spec in ALL_WORKLOADS:
+        if spec.name == workload:
+            return spec
+    raise KeyError(f"unknown workload {workload!r}")
+
+
+def run_workload(
+    workload: WorkloadLike,
+    mitigation: str,
+    params: SimulationParams = None,
+) -> SimulationResult:
+    """Simulate one workload under one mitigation."""
+    return PerformanceSimulation(_resolve(workload), mitigation, params).run()
+
+
+def compare_mitigations(
+    workload: WorkloadLike,
+    mitigations: Sequence[str],
+    params: SimulationParams = None,
+) -> Dict[str, SimulationResult]:
+    """Run several mitigations (always including the baseline) on one
+    workload with identical traces; returns results keyed by name."""
+    spec = _resolve(workload)
+    names = list(dict.fromkeys(["baseline", *mitigations]))
+    return {name: run_workload(spec, name, params) for name in names}
+
+
+def normalized_table(
+    workloads: Iterable[WorkloadLike],
+    mitigations: Sequence[str],
+    params: SimulationParams = None,
+) -> Dict[str, Dict[str, float]]:
+    """Normalized performance for each workload x mitigation.
+
+    Returns ``{workload: {mitigation: normalized_perf}}``.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        results = compare_mitigations(workload, mitigations, params)
+        base = results["baseline"]
+        table[_resolve(workload).name] = {
+            name: normalized_performance(base, result)
+            for name, result in results.items()
+            if name != "baseline"
+        }
+    return table
+
+
+def suite_geomeans(
+    table: Dict[str, Dict[str, float]],
+    suites: Optional[Dict[str, str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Aggregate a normalized table per suite plus an ``ALL`` row."""
+    suite_of = suites or {spec.name: spec.suite for spec in ALL_WORKLOADS}
+    buckets: Dict[str, Dict[str, List[float]]] = {}
+    for workload, row in table.items():
+        suite = suite_of.get(workload, "OTHER")
+        for mitigation, value in row.items():
+            buckets.setdefault(suite, {}).setdefault(mitigation, []).append(value)
+            buckets.setdefault("ALL", {}).setdefault(mitigation, []).append(value)
+    return {
+        suite: {m: geometric_mean(vals) for m, vals in row.items()}
+        for suite, row in buckets.items()
+    }
+
+
+def sweep_trh(
+    workload: WorkloadLike,
+    mitigation: str,
+    trh_values: Sequence[int],
+    params: SimulationParams = None,
+) -> Dict[int, float]:
+    """Normalized performance of ``mitigation`` across TRH values."""
+    base_params = params or SimulationParams()
+    out: Dict[int, float] = {}
+    for trh in trh_values:
+        run_params = SimulationParams(
+            trh=trh,
+            swap_rate=base_params.swap_rate,
+            tracker=base_params.tracker,
+            num_cores=base_params.num_cores,
+            requests_per_core=base_params.requests_per_core,
+            time_scale=base_params.time_scale,
+            seed=base_params.seed,
+            policy=base_params.policy,
+            rows_per_bank=base_params.rows_per_bank,
+        )
+        results = compare_mitigations(workload, [mitigation], run_params)
+        out[trh] = normalized_performance(results["baseline"], results[mitigation])
+    return out

@@ -1,0 +1,198 @@
+"""The end-to-end performance simulator.
+
+Wires trace-driven cores, the memory system, and a mitigation together
+and advances them in global time order. The paper runs 1 billion
+instructions per core through USIMM; a pure-Python reproduction cannot,
+so the simulator supports *time scaling*: the refresh window and the Row
+Hammer thresholds are divided by ``time_scale``, which preserves the
+quantity the mitigation overhead depends on — swaps per window and the
+fraction of bank time they steal — while shrinking wall-clock cost by the
+same factor (see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.controller.memory_system import MemorySystem
+from repro.core.mitigation import MitigationKind
+from repro.core.pin_buffer import PinBuffer
+from repro.cpu.core import TraceCore
+from repro.dram.commands import PagePolicy
+from repro.dram.config import DRAMOrganization, DRAMTiming, SystemConfig
+from repro.sim.factory import DEFAULT_SWAP_RATES, make_mitigation_factory
+from repro.sim.results import SimulationResult
+from repro.workloads.suites import WorkloadSpec
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+
+@dataclass(frozen=True)
+class SimulationParams:
+    """Knobs of a performance simulation.
+
+    Attributes:
+        trh: Row Hammer threshold in *unscaled* (64 ms window) terms.
+        swap_rate: ``TRH / TS``; ``None`` selects the mitigation default
+            (6 for RRS/SRS, 3 for Scale-SRS).
+        tracker: Tracker type (``misra-gries``, ``hydra``, ``exact``).
+        num_cores: Cores to simulate (the paper uses 8; 4 keeps test and
+            benchmark budgets reasonable and preserves relative results).
+        requests_per_core: Trace length per core.
+        time_scale: Refresh-window/threshold scaling factor (see module
+            docstring). 1 = the paper's real 64 ms window.
+        seed: Base RNG seed.
+        policy: Row-buffer policy.
+        rows_per_bank: Override to shrink banks (tests); ``None`` keeps
+            the Table III 128K rows.
+    """
+
+    trh: int = 1200
+    swap_rate: Optional[float] = None
+    tracker: str = "misra-gries"
+    num_cores: int = 4
+    requests_per_core: int = 60_000
+    time_scale: int = 16
+    seed: int = 2024
+    policy: PagePolicy = PagePolicy.CLOSED
+    rows_per_bank: Optional[int] = None
+
+    def scaled_timing(self, base: DRAMTiming = None) -> DRAMTiming:
+        """Timing with the window *and* the mitigation latencies divided by
+        ``time_scale``.
+
+        Scaling all three together preserves the quantity slowdown is made
+        of: swaps-per-window stays constant (thresholds scale with the
+        window) and each swap steals ``t_swap / window`` of bank time
+        (both scale). Demand-access timing (tRC, tRCD, ...) is left at
+        real values so baseline IPC is undistorted.
+        """
+        timing = base or DRAMTiming()
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if self.time_scale == 1:
+            return timing
+        scale = self.time_scale
+        return replace(
+            timing,
+            refresh_window=timing.refresh_window / scale,
+            t_swap=timing.t_swap / scale,
+            t_reswap=timing.t_reswap / scale,
+            t_counter=timing.t_counter / scale,
+        )
+
+    @property
+    def scaled_trh(self) -> int:
+        scaled = int(round(self.trh / self.time_scale))
+        return max(8, scaled)
+
+
+class PerformanceSimulation:
+    """Simulates one workload under one mitigation."""
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        mitigation: str,
+        params: SimulationParams = None,
+    ):
+        self.workload = workload
+        self.mitigation_name = mitigation
+        self.params = params or SimulationParams()
+        params = self.params
+
+        timing = params.scaled_timing()
+        organization = DRAMOrganization()
+        if params.rows_per_bank is not None:
+            organization = replace(organization, rows_per_bank=params.rows_per_bank)
+        self.config = SystemConfig(
+            timing=timing, organization=organization, num_cores=params.num_cores
+        )
+        swap_rate = params.swap_rate
+        if swap_rate is None and mitigation != "baseline":
+            swap_rate = DEFAULT_SWAP_RATES[mitigation]
+        self.swap_rate = swap_rate or 0.0
+        self.pin_buffer = PinBuffer()
+        factory = make_mitigation_factory(
+            mitigation,
+            trh=params.scaled_trh,
+            timing=timing,
+            swap_rate=swap_rate,
+            tracker=params.tracker,
+            seed=params.seed,
+            pin_buffer=self.pin_buffer,
+        )
+        self.memory = MemorySystem(self.config, factory, policy=params.policy)
+
+    def run(self) -> SimulationResult:
+        params = self.params
+        cores: List[TraceCore] = []
+        traces = []
+        for core_id in range(params.num_cores):
+            profile = self.workload.profile_for_core(core_id)
+            generator = SyntheticTraceGenerator(
+                profile,
+                self.config.organization,
+                seed=params.seed + 17 * core_id,
+                core_id=core_id,
+            )
+            traces.append(generator.generate_arrays(params.requests_per_core))
+            cores.append(TraceCore(core_id, self.config))
+
+        # Global-time-ordered interleaving of cores: a heap keyed by each
+        # core's local clock processes the earliest core next.
+        heap = [(0.0, core_id) for core_id in range(params.num_cores)]
+        heapq.heapify(heap)
+        positions = [0] * params.num_cores
+        memory = self.memory
+        while heap:
+            _, core_id = heapq.heappop(heap)
+            position = positions[core_id]
+            trace = traces[core_id]
+            if position >= len(trace):
+                continue
+            core = cores[core_id]
+            issue = core.advance_gap(int(trace.gaps[position]))
+            channel = int(trace.channel[position])
+            rank = int(trace.rank[position])
+            bank = int(trace.bank[position])
+            row = int(trace.row[position])
+            column = int(trace.column[position])
+            if trace.is_write[position]:
+                memory.write(issue, channel, rank, bank, row, column)
+                core.issue_write()
+            else:
+                outcome = memory.read(issue, channel, rank, bank, row, column)
+                core.issue_read(outcome.completion)
+            positions[core_id] = position + 1
+            if position + 1 < len(trace):
+                heapq.heappush(heap, (core.clock_ns, core_id))
+
+        finish = 0.0
+        for core in cores:
+            finish = max(finish, core.drain())
+        residual_block = memory.finalize(finish)
+        if residual_block > 0:
+            # The final partial window's unravel burst would freeze the
+            # machine; charge it to every core so partial-window runs do
+            # not flatter the no-unswap ablation.
+            for core in cores:
+                core.clock_ns += residual_block
+
+        result = SimulationResult(
+            workload=self.workload.name,
+            suite=self.workload.suite,
+            mitigation=self.mitigation_name,
+            trh=params.trh,
+            swap_rate=self.swap_rate,
+            tracker=params.tracker,
+            cores=[core.result() for core in cores],
+            swaps=memory.total_swaps(),
+            place_backs=sum(m.stats.place_backs for m in memory.mitigations),
+            pins=sum(m.stats.pins for m in memory.mitigations),
+            mitigation_busy_ns=memory.total_mitigation_busy_ns(),
+            max_row_activations=memory.max_row_activations(),
+            llc_pin_hits=memory.llc_hits_from_pins,
+        )
+        return result

@@ -1,0 +1,21 @@
+"""Aggressor-row trackers.
+
+Trackers count row activations within a refresh window and signal the
+mitigation engine when a row crosses the swap threshold ``TS``. The paper
+evaluates its mitigations with the Misra-Gries tracker (as used by RRS and
+Graphene) and with Hydra; an exact per-row tracker is provided as a
+validation reference.
+"""
+
+from repro.trackers.base import Tracker, TrackerObservation, ExactTracker
+from repro.trackers.misra_gries import MisraGriesTracker
+from repro.trackers.hydra import HydraTracker, HydraConfig
+
+__all__ = [
+    "Tracker",
+    "TrackerObservation",
+    "ExactTracker",
+    "MisraGriesTracker",
+    "HydraTracker",
+    "HydraConfig",
+]

@@ -1,0 +1,93 @@
+"""Tracker interface and the exact reference tracker."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(slots=True)
+class TrackerObservation:
+    """Outcome of one tracked activation.
+
+    Attributes:
+        triggered: True when the observed row crossed the swap threshold
+            ``TS`` and a mitigation must be issued.
+        extra_dram_accesses: Number of additional DRAM accesses the tracker
+            itself generated to service this observation (non-zero for
+            Hydra's counter-cache misses).
+        estimated_count: The tracker's (over-)estimate of the row's
+            activation count after this observation.
+    """
+
+    triggered: bool
+    extra_dram_accesses: int = 0
+    estimated_count: int = 0
+
+
+class Tracker(abc.ABC):
+    """Counts activations per row and flags rows crossing ``TS``.
+
+    A tracker instance covers one DRAM bank. Counts never underestimate
+    true activation counts (a security requirement: a row must not reach
+    ``TS`` activations unnoticed).
+    """
+
+    def __init__(self, threshold: int):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.triggers = 0
+        self.observations = 0
+
+    @abc.abstractmethod
+    def observe(self, row: int) -> TrackerObservation:
+        """Record one activation of ``row``."""
+
+    @abc.abstractmethod
+    def reset_row(self, row: int) -> None:
+        """Clear the count of ``row`` (called after its mitigation)."""
+
+    @abc.abstractmethod
+    def end_window(self) -> None:
+        """Reset all state at a refresh-window boundary."""
+
+    def _note(self, observation: TrackerObservation) -> TrackerObservation:
+        self.observations += 1
+        if observation.triggered:
+            self.triggers += 1
+        return observation
+
+
+class ExactTracker(Tracker):
+    """Idealised tracker holding one counter per row.
+
+    Not implementable in SRAM at scale; used as ground truth in tests and
+    in the security Monte-Carlo simulations, where tracker approximation
+    error is not the effect under study.
+    """
+
+    def __init__(self, threshold: int):
+        super().__init__(threshold)
+        self._counts: Dict[int, int] = {}
+
+    def observe(self, row: int) -> TrackerObservation:
+        count = self._counts.get(row, 0) + 1
+        triggered = count >= self.threshold
+        if triggered:
+            self._counts[row] = 0
+        else:
+            self._counts[row] = count
+        return self._note(
+            TrackerObservation(triggered=triggered, estimated_count=count)
+        )
+
+    def count(self, row: int) -> int:
+        return self._counts.get(row, 0)
+
+    def reset_row(self, row: int) -> None:
+        self._counts.pop(row, None)
+
+    def end_window(self) -> None:
+        self._counts.clear()

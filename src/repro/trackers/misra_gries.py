@@ -1,0 +1,157 @@
+"""Misra-Gries frequent-items tracker (as used by Graphene and RRS).
+
+The Misra-Gries summary guarantees that any row receiving at least ``TS``
+activations within the window is flagged, using only
+``ceil(ACT_max / TS)`` counters plus one shared spillover counter.
+
+Algorithm (Graphene's lazy-decrement formulation):
+
+- A tracked row's counter increments on each activation.
+- An untracked row takes a free entry if one exists, starting at
+  ``spillover + 1`` (it may have been evicted before with up to
+  ``spillover`` activations — counts over-estimate, never under-estimate).
+- With the table full, an untracked row replaces an entry whose count is
+  at the ``spillover`` floor; if no entry is at the floor, the *spillover
+  counter itself* increments (the lazy equivalent of Misra-Gries'
+  decrement-all step) and the arrival is absorbed.
+
+The last rule is what bounds ``spillover <= total_activations / entries``:
+each spillover increment consumes ``entries`` worth of accumulated count.
+Sized at ``entries = ACT_max / TS``, the spillover can only approach
+``TS`` when a bank sustains its maximum activation rate for a full window
+(which is why GUPS-like uniform traffic eventually forces swaps, exactly
+as the paper observes).
+
+A count-bucket index makes every operation O(1); the floor lookup never
+scans the table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.trackers.base import Tracker, TrackerObservation
+
+
+class MisraGriesTracker(Tracker):
+    """Misra-Gries summary with a spillover counter.
+
+    Args:
+        threshold: The swap threshold ``TS``.
+        num_entries: Number of (row, count) entries. Secure provisioning
+            requires ``num_entries >= ACT_max / TS``; use
+            :meth:`required_entries` to size it.
+    """
+
+    def __init__(self, threshold: int, num_entries: int):
+        super().__init__(threshold)
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        self.num_entries = num_entries
+        self._counts: Dict[int, int] = {}
+        self.spillover = 0
+        # Rows whose count is <= spillover (replacement candidates).
+        self._floor_pool: Set[int] = set()
+        # count -> rows at that count (only counts > spillover are kept).
+        self._rows_at_count: Dict[int, Set[int]] = {}
+        self.spillover_increments = 0
+
+    @staticmethod
+    def required_entries(max_activations: int, threshold: int) -> int:
+        """Entries needed so no row reaches ``threshold`` untracked."""
+        return -(-max_activations // threshold)
+
+    # ------------------------------------------------------------------
+    # bucket index maintenance
+
+    def _bucket_add(self, row: int, count: int) -> None:
+        if count <= self.spillover:
+            self._floor_pool.add(row)
+        else:
+            self._rows_at_count.setdefault(count, set()).add(row)
+
+    def _bucket_remove(self, row: int, count: int) -> None:
+        if row in self._floor_pool:
+            self._floor_pool.discard(row)
+            return
+        bucket = self._rows_at_count.get(count)
+        if bucket is not None:
+            bucket.discard(row)
+            if not bucket:
+                del self._rows_at_count[count]
+
+    def _raise_spillover(self) -> None:
+        """The lazy decrement-all step: floor rises by one."""
+        self.spillover += 1
+        self.spillover_increments += 1
+        newly_at_floor = self._rows_at_count.pop(self.spillover, None)
+        if newly_at_floor:
+            self._floor_pool |= newly_at_floor
+
+    # ------------------------------------------------------------------
+    # tracker interface
+
+    def observe(self, row: int) -> TrackerObservation:
+        counts = self._counts
+        if row in counts:
+            old = counts[row]
+            self._bucket_remove(row, old)
+            count = old + 1
+            counts[row] = count
+            self._bucket_add(row, count)
+        elif len(counts) < self.num_entries:
+            count = self.spillover + 1
+            counts[row] = count
+            self._bucket_add(row, count)
+        elif self._floor_pool:
+            victim = self._floor_pool.pop()
+            del counts[victim]
+            count = self.spillover + 1
+            counts[row] = count
+            self._bucket_add(row, count)
+        else:
+            # No entry at the floor: absorb the arrival into the spillover
+            # counter (Misra-Gries decrement-all).
+            self._raise_spillover()
+            count = self.spillover
+        triggered = count >= self.threshold
+        if triggered and row in counts:
+            self._bucket_remove(row, counts[row])
+            counts[row] = 0
+            self._floor_pool.add(row)
+        return self._note(
+            TrackerObservation(triggered=triggered, estimated_count=count)
+        )
+
+    def count(self, row: int) -> int:
+        """Current over-estimate for ``row``."""
+        return self._counts.get(row, self.spillover)
+
+    def reset_row(self, row: int) -> None:
+        if row in self._counts:
+            self._bucket_remove(row, self._counts[row])
+            self._counts[row] = 0
+            self._floor_pool.add(row)
+
+    def end_window(self) -> None:
+        self._counts.clear()
+        self._floor_pool.clear()
+        self._rows_at_count.clear()
+        self.spillover = 0
+
+    @property
+    def occupancy(self) -> float:
+        return len(self._counts) / self.num_entries
+
+    def check_invariants(self) -> None:
+        """Structural consistency of the bucket index (tests)."""
+        indexed = set(self._floor_pool)
+        for count, rows in self._rows_at_count.items():
+            assert count > self.spillover, "bucket below spillover floor"
+            for row in rows:
+                assert self._counts.get(row) == count, f"bucket desync for {row}"
+                indexed.add(row)
+        for row, count in self._counts.items():
+            assert row in indexed, f"row {row} missing from index"
+            if row in self._floor_pool:
+                assert count <= self.spillover, f"floor row {row} above floor"

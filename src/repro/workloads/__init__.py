@@ -1,0 +1,35 @@
+"""Workloads: trace format, synthetic benchmark profiles, and suites.
+
+The paper drives USIMM with Pin-captured traces of SPEC2006, SPEC2017,
+GAP, PARSEC, BIOBENCH and COMMERCIAL benchmarks (plus GUPS and six
+mixes — 78 workloads in total). Those traces are proprietary-toolchain
+artifacts; this package substitutes a synthetic trace generator whose
+per-benchmark *row-activation statistics* (memory intensity, hot-row
+counts and rates, footprint, write share) are modelled per named
+benchmark, which is the property row-swap overheads actually depend on.
+See DESIGN.md's substitution table.
+"""
+
+from repro.workloads.trace import TraceRecord, Trace, read_trace, write_trace
+from repro.workloads.synthetic import BenchmarkProfile, SyntheticTraceGenerator
+from repro.workloads.suites import (
+    ALL_WORKLOADS,
+    SUITES,
+    profile_by_name,
+    workloads_in_suite,
+    swap_heavy_workloads,
+)
+
+__all__ = [
+    "TraceRecord",
+    "Trace",
+    "read_trace",
+    "write_trace",
+    "BenchmarkProfile",
+    "SyntheticTraceGenerator",
+    "ALL_WORKLOADS",
+    "SUITES",
+    "profile_by_name",
+    "workloads_in_suite",
+    "swap_heavy_workloads",
+]

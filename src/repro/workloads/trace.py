@@ -1,0 +1,101 @@
+"""Memory-access trace format (USIMM-style).
+
+A trace is a sequence of LLC-miss records. Each record carries the number
+of non-memory instructions preceding the access (the *gap*), whether it is
+a read or write, and the physical byte address. The on-disk format is one
+record per line: ``<gap> <R|W> <hex address>`` — the shape USIMM's trace
+readers expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, List, Union
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory access: preceded by ``gap`` non-memory instructions."""
+
+    gap: int
+    is_write: bool
+    address: int
+
+    def __post_init__(self):
+        if self.gap < 0:
+            raise ValueError("gap must be non-negative")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+
+
+class Trace:
+    """An in-memory trace with summary statistics."""
+
+    def __init__(self, records: Iterable[TraceRecord], name: str = "trace"):
+        self.records: List[TraceRecord] = list(records)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self.records[index]
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions represented: gaps plus one per memory access."""
+        return sum(r.gap for r in self.records) + len(self.records)
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.is_write) / len(self.records)
+
+    @property
+    def mpki(self) -> float:
+        """Misses per kilo-instruction implied by the trace."""
+        instructions = self.total_instructions
+        if instructions == 0:
+            return 0.0
+        return 1000.0 * len(self.records) / instructions
+
+    def address_footprint(self, granularity_bits: int = 13) -> int:
+        """Distinct address blocks touched (default 8 KB rows)."""
+        return len({r.address >> granularity_bits for r in self.records})
+
+
+def write_trace(trace: Trace, stream: IO[str]) -> int:
+    """Serialize a trace; returns records written."""
+    n = 0
+    for record in trace:
+        op = "W" if record.is_write else "R"
+        stream.write(f"{record.gap} {op} 0x{record.address:x}\n")
+        n += 1
+    return n
+
+
+def read_trace(stream: Union[IO[str], Iterable[str]], name: str = "trace") -> Trace:
+    """Parse a trace from the one-record-per-line format."""
+    records = []
+    for line_no, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError(f"line {line_no}: expected '<gap> <R|W> <addr>'")
+        gap_text, op, addr_text = parts
+        if op not in ("R", "W"):
+            raise ValueError(f"line {line_no}: op must be R or W, got {op!r}")
+        records.append(
+            TraceRecord(
+                gap=int(gap_text),
+                is_write=(op == "W"),
+                address=int(addr_text, 16),
+            )
+        )
+    return Trace(records, name=name)

@@ -1,0 +1,31 @@
+"""Shared fixtures: small banks and fast timing for unit tests."""
+
+import random
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.config import DRAMTiming
+
+
+@pytest.fixture
+def timing():
+    """Real Table III timing."""
+    return DRAMTiming()
+
+
+@pytest.fixture
+def fast_timing():
+    """A shrunken 1 ms window for tests that cross window boundaries."""
+    return DRAMTiming(refresh_window=1_000_000.0)
+
+
+@pytest.fixture
+def small_bank(fast_timing):
+    """A 4K-row bank with a 1 ms window."""
+    return Bank(4096, fast_timing)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xDECAF)

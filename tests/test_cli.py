@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            ["list-workloads"],
+            ["run", "gcc"],
+            ["attack"],
+            ["security-sweep"],
+            ["outliers"],
+            ["storage"],
+            ["power"],
+        ):
+            args = parser.parse_args(command)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "gups" in out and "mix1" in out
+
+    def test_list_workloads_suite_filter(self, capsys):
+        assert main(["list-workloads", "--suite", "GAP"]) == 0
+        out = capsys.readouterr().out
+        assert "pr" in out and "gcc " not in out
+
+    def test_attack(self, capsys):
+        assert main(["attack", "--trh", "4800", "--swap-rate", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "RRS" in out and "SRS" in out and "days" in out
+
+    def test_security_sweep(self, capsys):
+        assert main(["security-sweep", "--trh", "4800", "--rates", "6,8"]) == 0
+        out = capsys.readouterr().out
+        assert "6.0" in out and "8.0" in out
+
+    def test_outliers(self, capsys):
+        assert main(["outliers", "--trh", "4800", "--swap-rate", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "outlier row(s)" in out
+
+    def test_storage(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "4800" in out and "ratio" in out
+
+    def test_storage_direction_bit_cheaper(self, capsys):
+        main(["storage"])
+        plain = capsys.readouterr().out
+        main(["storage", "--direction-bit"])
+        optimised = capsys.readouterr().out
+        plain_1200 = float(plain.splitlines()[-1].split()[2])
+        opt_1200 = float(optimised.splitlines()[-1].split()[2])
+        assert opt_1200 < plain_1200
+
+    def test_power(self, capsys):
+        assert main(["power", "--trh", "4800"]) == 0
+        out = capsys.readouterr().out
+        assert "mW" in out and "saving" in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "povray", "--trh", "1200", "--cores", "1",
+            "--requests", "2000", "--mitigations", "rrs",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "rrs" in out

@@ -1,0 +1,110 @@
+"""Tests for the Collision Avoidance Table."""
+
+import random
+
+import pytest
+
+from repro.core.cat import CATOverflowError, CollisionAvoidanceTable
+
+
+@pytest.fixture
+def cat():
+    return CollisionAvoidanceTable(num_entries=64, bucket_size=4, rng=random.Random(1))
+
+
+class TestBasicOperations:
+    def test_insert_and_get(self, cat):
+        cat.insert(10, 99)
+        assert cat.get(10) == 99
+        assert 10 in cat
+        assert len(cat) == 1
+
+    def test_get_missing_returns_none(self, cat):
+        assert cat.get(123) is None
+        assert 123 not in cat
+
+    def test_update_existing_key(self, cat):
+        cat.insert(10, 1)
+        cat.insert(10, 2)
+        assert cat.get(10) == 2
+        assert len(cat) == 1
+
+    def test_remove(self, cat):
+        cat.insert(10, 1)
+        assert cat.remove(10) == 1
+        assert cat.get(10) is None
+        assert cat.remove(10) is None
+
+    def test_insert_locked_by_default(self, cat):
+        cat.insert(10, 1)
+        assert cat.is_locked(10)
+
+
+class TestEpochsAndEviction:
+    def test_unlock_all(self, cat):
+        for key in range(10):
+            cat.insert(key, key)
+        assert cat.unlock_all() == 10
+        assert cat.locked_count() == 0
+        assert len(cat.unlocked_items()) == 10
+
+    def test_update_relocks(self, cat):
+        cat.insert(10, 1)
+        cat.unlock_all()
+        cat.insert(10, 2)
+        assert cat.is_locked(10)
+
+    def test_eviction_prefers_unlocked(self):
+        # Tiny CAT: 2 buckets x 2 slots.
+        cat = CollisionAvoidanceTable(
+            num_entries=4, bucket_size=2, overprovision=1.0, rng=random.Random(2)
+        )
+        inserted = 0
+        key = 0
+        while inserted < 4:  # fill completely
+            try:
+                cat.insert(key, key)
+                inserted += 1
+            except CATOverflowError:
+                pass
+            key += 1
+        cat.unlock_all()
+        evicted = None
+        for extra in range(1000, 1100):
+            evicted = cat.insert(extra, extra)
+            if evicted is not None:
+                break
+        assert evicted is not None
+        assert cat.evictions >= 1
+
+    def test_overflow_when_all_locked(self):
+        cat = CollisionAvoidanceTable(
+            num_entries=4, bucket_size=2, overprovision=1.0, rng=random.Random(3)
+        )
+        with pytest.raises(CATOverflowError):
+            for key in range(10_000):
+                cat.insert(key, key)
+
+
+class TestLoadBalancing:
+    def test_two_choice_insertion_balances(self):
+        cat = CollisionAvoidanceTable(num_entries=512, bucket_size=8, rng=random.Random(4))
+        for key in range(400):
+            cat.insert(key, key)
+        hist = cat.occupancy_histogram()
+        # Power-of-two-choices: no bucket should be full while others empty.
+        assert max(hist) <= 8
+        assert cat.load_factor < 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollisionAvoidanceTable(num_entries=0)
+        with pytest.raises(ValueError):
+            CollisionAvoidanceTable(num_entries=4, bucket_size=0)
+        with pytest.raises(ValueError):
+            CollisionAvoidanceTable(num_entries=4, overprovision=0.5)
+
+    def test_items_iteration(self, cat):
+        for key in range(5):
+            cat.insert(key, key * 10)
+        assert dict(cat.items()) == {k: k * 10 for k in range(5)}

@@ -1,0 +1,168 @@
+"""Tests for the RRS (tuple-paired) and SRS (split) indirection tables."""
+
+import random
+
+import pytest
+
+from repro.core.rit import (
+    RITCapacityError,
+    RRSIndirectionTable,
+    SRSIndirectionTable,
+)
+
+
+@pytest.fixture
+def rrs_rit():
+    return RRSIndirectionTable(capacity=64, rng=random.Random(1))
+
+
+@pytest.fixture
+def srs_rit():
+    return SRSIndirectionTable(capacity=64, rng=random.Random(1))
+
+
+class TestRRSTable:
+    def test_unswapped_resolves_identity(self, rrs_rit):
+        assert rrs_rit.resolve(42) == 42
+        assert not rrs_rit.is_swapped(42)
+
+    def test_swap_creates_tuple_pair(self, rrs_rit):
+        rrs_rit.record_swap(1, 2)
+        assert rrs_rit.resolve(1) == 2
+        assert rrs_rit.resolve(2) == 1
+        assert rrs_rit.partner(1) == 2
+        rrs_rit.check_invariants()
+
+    def test_unswap_restores_identity(self, rrs_rit):
+        rrs_rit.record_swap(1, 2)
+        assert rrs_rit.record_unswap(1) == 2
+        assert rrs_rit.resolve(1) == 1
+        assert rrs_rit.resolve(2) == 2
+
+    def test_self_swap_rejected(self, rrs_rit):
+        with pytest.raises(ValueError):
+            rrs_rit.record_swap(3, 3)
+
+    def test_double_swap_without_unswap_rejected(self, rrs_rit):
+        rrs_rit.record_swap(1, 2)
+        with pytest.raises(ValueError):
+            rrs_rit.record_swap(1, 5)
+
+    def test_unswap_of_unswapped_rejected(self, rrs_rit):
+        with pytest.raises(KeyError):
+            rrs_rit.record_unswap(9)
+
+    def test_capacity_enforced(self):
+        rit = RRSIndirectionTable(capacity=4)
+        rit.record_swap(1, 2)
+        rit.record_swap(3, 4)
+        with pytest.raises(RITCapacityError):
+            rit.record_swap(5, 6)
+
+    def test_stale_pairs_after_epoch(self, rrs_rit):
+        rrs_rit.record_swap(1, 2)
+        rrs_rit.record_swap(3, 4)
+        assert rrs_rit.stale_pairs() == []
+        rrs_rit.end_epoch()
+        stale = rrs_rit.stale_pairs()
+        assert len(stale) == 2
+        assert {frozenset(p) for p in stale} == {frozenset((1, 2)), frozenset((3, 4))}
+
+    def test_pick_stale_pair_none_when_fresh(self, rrs_rit):
+        rrs_rit.record_swap(1, 2)
+        assert rrs_rit.pick_stale_pair() is None
+
+
+class TestSRSTable:
+    def test_initial_swap(self, srs_rit):
+        displaced = srs_rit.record_swap(1, 2)  # A=1 moves to location 2
+        assert displaced == 2
+        assert srs_rit.resolve(1) == 2
+        assert srs_rit.resolve(2) == 1
+        assert srs_rit.occupant(2) == 1
+        srs_rit.check_invariants()
+
+    def test_subsequent_swap_matches_figure_9(self, srs_rit):
+        # Paper Figure 9: A swaps with B, then A swaps onward with C.
+        a, b, c = 1, 2, 3
+        srs_rit.record_swap(a, b)
+        displaced = srs_rit.record_swap(a, c)
+        assert displaced == c
+        # Real part holds <A,C>, <C,B>, <B,A>.
+        assert srs_rit.resolve(a) == c
+        assert srs_rit.resolve(c) == b
+        assert srs_rit.resolve(b) == a
+        srs_rit.check_invariants()
+
+    def test_swap_onto_occupied_location(self, srs_rit):
+        srs_rit.record_swap(1, 2)  # 1@2, 2@1
+        displaced = srs_rit.record_swap(3, 2)  # 3 takes location 2
+        assert displaced == 1  # row 1's data was there
+        assert srs_rit.resolve(3) == 2
+        assert srs_rit.resolve(1) == 3  # displaced to 3's old location
+        srs_rit.check_invariants()
+
+    def test_swap_to_own_location_rejected(self, srs_rit):
+        with pytest.raises(ValueError):
+            srs_rit.record_swap(5, 5)
+
+    def test_swap_back_home_drops_entries(self, srs_rit):
+        srs_rit.record_swap(1, 2)
+        # Placing row 1 back home also sends row 2 home (a 2-cycle), so
+        # the identity mappings must vanish rather than being stored.
+        displaced = srs_rit.place_back(1)
+        assert srs_rit.resolve(1) == 1
+        assert srs_rit.resolve(2) == 2
+        assert len(srs_rit) == 0
+        assert displaced is None
+
+    def test_place_back_chain(self, srs_rit):
+        # A->B's home, then A->C's home leaves a 3-cycle; placing back A
+        # displaces the chain one step at a time (Figure 8).
+        srs_rit.record_swap(1, 2)
+        srs_rit.record_swap(1, 3)
+        srs_rit.end_epoch()
+        remaining = srs_rit.place_back(1)
+        assert srs_rit.resolve(1) == 1
+        srs_rit.check_invariants()
+        # Whatever row remains displaced can also be placed back.
+        while remaining is not None:
+            remaining = srs_rit.place_back(remaining)
+        for row in (1, 2, 3):
+            assert srs_rit.resolve(row) == row
+        assert len(srs_rit) == 0
+
+    def test_place_back_preserves_stale_status(self, srs_rit):
+        srs_rit.record_swap(1, 2)
+        srs_rit.record_swap(1, 3)
+        srs_rit.end_epoch()
+        assert set(srs_rit.stale_rows()) == set(srs_rit.displaced_rows())
+        srs_rit.place_back(1)
+        # The rows shuffled by the place-back stay stale (not re-locked).
+        assert set(srs_rit.stale_rows()) == set(srs_rit.displaced_rows())
+
+    def test_capacity_enforced(self):
+        # capacity 6 -> the real half holds at most 3 rows; one swap
+        # displaces two rows, so a second swap cannot be guaranteed room.
+        rit = SRSIndirectionTable(capacity=6)
+        rit.record_swap(1, 2)
+        with pytest.raises(RITCapacityError):
+            rit.record_swap(3, 4)
+
+    def test_len_counts_both_halves(self, srs_rit):
+        srs_rit.record_swap(1, 2)
+        assert len(srs_rit) == 4  # 2 real + 2 mirrored
+
+    def test_permutation_property_random_ops(self):
+        rit = SRSIndirectionTable(capacity=4096, rng=random.Random(7))
+        rng = random.Random(42)
+        rows = list(range(100))
+        for _ in range(300):
+            row = rng.choice(rows)
+            target = rng.choice(rows)
+            if rit.resolve(row) != target:
+                rit.record_swap(row, target)
+        rit.check_invariants()
+        # resolve must be injective over its support.
+        locations = [rit.resolve(r) for r in rows]
+        assert len(set(locations)) == len(rows)

@@ -1,0 +1,160 @@
+"""Tests for the RRS engine — especially the latent activations that the
+Juggernaut attack exploits (Figures 2 and 3 of the paper)."""
+
+import random
+
+import pytest
+
+from repro.core.rrs import RandomizedRowSwap, rit_capacity
+from repro.dram.bank import Bank
+from repro.dram.config import DRAMTiming
+from repro.trackers.base import ExactTracker
+
+
+def hammer(mitigation, row, count, start=0.0):
+    """Drive `count` demand activations of logical `row`."""
+    bank = mitigation.bank
+    time = start
+    for _ in range(count):
+        physical = mitigation.resolve(row)
+        result = bank.access(time, physical)
+        time = max(result.finish, mitigation.on_activation(result.finish, row))
+    return time
+
+
+@pytest.fixture
+def engine(small_bank, rng):
+    return RandomizedRowSwap(
+        small_bank, ExactTracker(50), rng, keep_events=True
+    )
+
+
+class TestRitCapacity:
+    def test_formula(self):
+        # 4 entries per swap-slot: tuple pair x two epochs.
+        assert rit_capacity(1000, 100) == 40
+
+    def test_rounds_up(self):
+        assert rit_capacity(1001, 100) == 44
+
+
+class TestSwapBehaviour:
+    def test_swap_triggers_at_threshold(self, engine):
+        hammer(engine, 7, 50)
+        assert engine.stats.swaps == 1
+        assert engine.rit.is_swapped(7)
+
+    def test_below_threshold_no_swap(self, engine):
+        hammer(engine, 7, 49)
+        assert engine.stats.swaps == 0
+
+    def test_initial_swap_latent_activation(self, engine, small_bank):
+        """Figure 2: the swap adds exactly one ACT at the aggressor's home
+        and one at the partner's home."""
+        hammer(engine, 7, 50)
+        # 50 demand ACTs + 1 latent.
+        assert small_bank.stats.count(7) == 51
+        partner = engine.rit.partner(7)
+        assert small_bank.stats.count(partner) == 1
+
+    def test_reswap_latent_activations(self, small_bank, rng):
+        """Figure 3: each unswap-swap adds 1-2 (avg 1.5) latent ACTs at the
+        aggressor's original location."""
+        engine = RandomizedRowSwap(
+            small_bank, ExactTracker(50), rng, latent_per_reswap=2, keep_events=True
+        )
+        hammer(engine, 7, 50 * 10)  # 1 swap + 9 reswaps
+        assert engine.stats.swaps == 1
+        assert engine.stats.reswaps == 9
+        # Home of row 7: 50 demand (pre-swap) + 1 latent (swap) + 2 x 9
+        # latent (reswaps). Demand ACTs after the first swap land at the
+        # hammered row's *current* location, not its home.
+        assert small_bank.stats.count(7) == 50 + 1 + 2 * 9
+
+    def test_reswap_latent_one_when_optimised(self, small_bank, rng):
+        engine = RandomizedRowSwap(
+            small_bank, ExactTracker(50), rng, latent_per_reswap=1
+        )
+        hammer(engine, 7, 50 * 10)
+        assert small_bank.stats.count(7) == 50 + 1 + 1 * 9
+
+    def test_random_latent_averages_1_5(self, rng, fast_timing):
+        totals = []
+        for seed in range(8):
+            bank = Bank(4096, fast_timing)
+            engine = RandomizedRowSwap(
+                bank, ExactTracker(50), random.Random(seed), latent_per_reswap="random"
+            )
+            hammer(engine, 7, 50 * 21)  # 20 reswaps
+            totals.append(bank.stats.count(7) - 51)
+        average = sum(totals) / len(totals) / 20
+        assert 1.2 < average < 1.8
+
+    def test_bank_occupied_during_swap(self, engine, small_bank, fast_timing):
+        end = hammer(engine, 7, 50)
+        assert end >= fast_timing.t_swap
+
+    def test_invalid_latent_mode_rejected(self, small_bank, rng):
+        with pytest.raises(ValueError):
+            RandomizedRowSwap(small_bank, ExactTracker(50), rng, latent_per_reswap=3)
+
+    def test_resolve_follows_swaps(self, engine):
+        hammer(engine, 7, 50)
+        partner = engine.rit.partner(7)
+        assert engine.resolve(7) == partner
+        assert engine.resolve(partner) == 7
+
+
+class TestEpochHandling:
+    def test_end_window_unlocks_rit(self, engine):
+        hammer(engine, 7, 50)
+        engine.end_window(1_000_000.0)
+        assert engine.rit.pick_stale_pair() is not None
+
+    def test_stale_pairs_evicted_on_demand(self, small_bank, rng):
+        # Tiny tracker threshold so swaps are frequent; after the epoch
+        # flips, new swaps must evict (unswap) stale pairs when the RIT
+        # fills. We force this with a tiny RIT.
+        engine = RandomizedRowSwap(small_bank, ExactTracker(10), rng, keep_events=True)
+        engine._rit.capacity = 6  # room for three pairs
+        hammer(engine, 1, 10)
+        hammer(engine, 2, 10, start=small_bank.busy_until)
+        engine.end_window(1_000_000.0)
+        hammer(engine, 3, 10, start=1_000_000.0)
+        hammer(engine, 4, 10, start=small_bank.busy_until)
+        assert engine.stats.unswaps >= 1
+
+
+class TestNoUnswapAblation:
+    def test_chained_swaps_no_home_accumulation(self, small_bank, rng):
+        """Without unswaps there are no latent ACTs at the home location —
+        but chains build up."""
+        engine = RandomizedRowSwap(
+            small_bank, ExactTracker(50), rng, immediate_unswap=False
+        )
+        hammer(engine, 7, 50 * 10)
+        # Home of 7: 50 demand + 1 ACT from the first chain swap.
+        assert small_bank.stats.count(7) <= 52
+        assert len(engine.rit.displaced_rows()) >= 10
+
+    def test_epoch_unravel_blocks_bank(self, small_bank, rng, fast_timing):
+        engine = RandomizedRowSwap(
+            small_bank, ExactTracker(50), rng, immediate_unswap=False
+        )
+        hammer(engine, 7, 50 * 10)
+        busy_before = small_bank.busy_until
+        engine.end_window(1_000_000.0)
+        # The unravel performs one t_swap per displaced row back-to-back.
+        assert engine.stats.epoch_unravel_time >= 10 * fast_timing.t_swap
+        assert small_bank.busy_until > busy_before
+        assert engine.rit.displaced_rows() == []
+
+    def test_unravel_restores_all_mappings(self, small_bank, rng):
+        engine = RandomizedRowSwap(
+            small_bank, ExactTracker(20), rng, immediate_unswap=False
+        )
+        for row in (1, 2, 3):
+            hammer(engine, row, 40, start=small_bank.busy_until)
+        engine.end_window(1_000_000.0)
+        for row in range(100):
+            assert engine.resolve(row) == row

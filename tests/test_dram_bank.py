@@ -1,0 +1,142 @@
+"""Tests for the bank state machine and activation accounting."""
+
+import pytest
+
+from repro.dram.bank import ActivationStats, Bank
+from repro.dram.commands import PagePolicy
+from repro.dram.config import DRAMTiming
+
+
+class TestActivationStats:
+    def test_counts_within_window(self):
+        stats = ActivationStats(1000.0)
+        assert stats.record(5, 0.0) == 1
+        assert stats.record(5, 10.0) == 2
+        assert stats.count(5) == 2
+        assert stats.count(6) == 0
+
+    def test_window_roll_resets_counts(self):
+        stats = ActivationStats(1000.0)
+        stats.record(5, 0.0)
+        stats.record(5, 1500.0)  # next window
+        assert stats.count(5) == 1
+        assert stats.window_index == 1
+        assert stats.history[0].max_row_activations == 1
+
+    def test_history_records_hottest_row(self):
+        stats = ActivationStats(1000.0)
+        for _ in range(3):
+            stats.record(7, 0.0)
+        stats.record(9, 0.0)
+        stats.finalize(0.0)
+        assert stats.history[0].hottest_row == 7
+        assert stats.history[0].max_row_activations == 3
+        assert stats.history[0].total_activations == 4
+        assert stats.history[0].rows_activated == 2
+
+    def test_empty_window_recorded(self):
+        stats = ActivationStats(1000.0)
+        stats.record(1, 2500.0)  # skips windows 0 and 1
+        assert len(stats.history) == 2
+        assert stats.history[0].total_activations == 0
+
+    def test_time_travel_rejected(self):
+        stats = ActivationStats(1000.0)
+        stats.record(1, 2500.0)
+        with pytest.raises(ValueError):
+            stats.record(1, 100.0)
+
+    def test_ever_exceeded(self):
+        stats = ActivationStats(1000.0)
+        for _ in range(5):
+            stats.record(3, 0.0)
+        assert stats.ever_exceeded(5)
+        assert not stats.ever_exceeded(6)
+        stats.finalize(0.0)
+        assert stats.ever_exceeded(5)  # survives window roll
+
+    def test_rows_at_or_above(self):
+        stats = ActivationStats(1000.0)
+        for _ in range(4):
+            stats.record(1, 0.0)
+        stats.record(2, 0.0)
+        assert stats.rows_at_or_above(4) == [1]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationStats(0.0)
+
+
+class TestBankClosedPage:
+    def test_access_latency(self, small_bank, fast_timing):
+        result = small_bank.access(0.0, 100)
+        t = fast_timing
+        assert result.start == 0.0
+        assert result.finish == t.t_rcd + t.t_cas + t.t_bl
+        assert result.activated and not result.row_hit
+
+    def test_trc_enforced_between_activations(self, small_bank, fast_timing):
+        first = small_bank.access(0.0, 100)
+        second = small_bank.access(first.finish, 100)
+        assert second.start >= first.start + fast_timing.t_rc
+
+    def test_every_access_activates(self, small_bank):
+        for _ in range(5):
+            result = small_bank.access(small_bank.busy_until, 7)
+            assert result.activated
+        assert small_bank.stats.count(7) == 5
+
+    def test_out_of_range_row_rejected(self, small_bank):
+        with pytest.raises(ValueError):
+            small_bank.access(0.0, 4096)
+
+
+class TestBankOpenPage:
+    def test_row_hit_is_fast_and_does_not_activate(self, fast_timing):
+        bank = Bank(4096, fast_timing, PagePolicy.OPEN)
+        miss = bank.access(0.0, 5)
+        hit = bank.access(miss.finish, 5)
+        assert hit.row_hit and not hit.activated
+        assert hit.finish - hit.start < miss.finish - miss.start
+        assert bank.stats.count(5) == 1
+
+    def test_row_conflict_pays_precharge(self, fast_timing):
+        bank = Bank(4096, fast_timing, PagePolicy.OPEN)
+        bank.access(0.0, 5)
+        conflict = bank.access(bank.busy_until, 6)
+        assert conflict.activated
+        # Conflict latency includes precharge of the open row.
+        assert conflict.start >= fast_timing.t_rp
+
+    def test_hit_rate_accounting(self, fast_timing):
+        bank = Bank(4096, fast_timing, PagePolicy.OPEN)
+        bank.access(0.0, 5)
+        for _ in range(3):
+            bank.access(bank.busy_until, 5)
+        assert bank.row_hit_rate == pytest.approx(0.75)
+
+
+class TestBankOccupyAndActivate:
+    def test_occupy_blocks_bank(self, small_bank):
+        end = small_bank.occupy(0.0, 2700.0)
+        assert end == 2700.0
+        result = small_bank.access(0.0, 1)
+        assert result.start >= 2700.0
+
+    def test_occupy_closes_open_row(self, fast_timing):
+        bank = Bank(4096, fast_timing, PagePolicy.OPEN)
+        bank.access(0.0, 5)
+        bank.occupy(bank.busy_until, 100.0)
+        assert bank.open_row is None
+
+    def test_negative_occupy_rejected(self, small_bank):
+        with pytest.raises(ValueError):
+            small_bank.occupy(0.0, -1.0)
+
+    def test_raw_activate_records(self, small_bank):
+        small_bank.activate(0.0, 9)
+        assert small_bank.stats.count(9) == 1
+
+    def test_precharge_idempotent_when_closed(self, small_bank):
+        t = small_bank.precharge(100.0)
+        assert t == 100.0

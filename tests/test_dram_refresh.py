@@ -1,0 +1,49 @@
+"""Tests for refresh scheduling (Equation 4's time accounting)."""
+
+import pytest
+
+from repro.dram.config import DRAMTiming
+from repro.dram.refresh import RefreshScheduler
+
+
+@pytest.fixture
+def scheduler():
+    return RefreshScheduler(DRAMTiming())
+
+
+class TestRefreshWindows:
+    def test_in_refresh_at_interval_start(self, scheduler):
+        assert scheduler.in_refresh(0.0)
+        assert scheduler.in_refresh(349.9)
+        assert not scheduler.in_refresh(350.0)
+
+    def test_delay_through_pushes_past_refresh(self, scheduler):
+        assert scheduler.delay_through(100.0) == 350.0
+        assert scheduler.delay_through(1000.0) == 1000.0
+
+    def test_next_refresh_at(self, scheduler):
+        assert scheduler.next_refresh_at(0.0) == 0.0
+        assert scheduler.next_refresh_at(1.0) == 7800.0
+        assert scheduler.next_refresh_at(7800.0) == 7800.0
+
+    def test_refresh_instants_in_range(self, scheduler):
+        instants = scheduler.refresh_instants(0.0, 3 * 7800.0)
+        assert instants == [0.0, 7800.0, 15600.0]
+
+    def test_overhead_over_full_window_matches_equation_4(self, scheduler):
+        t = DRAMTiming()
+        window = t.refresh_window
+        overhead = scheduler.refresh_overhead(0.0, window)
+        expected = t.t_rfc * (window / t.t_refi)
+        assert overhead == pytest.approx(expected, rel=0.001)
+
+    def test_overhead_empty_interval(self, scheduler):
+        assert scheduler.refresh_overhead(100.0, 100.0) == 0.0
+
+    def test_partial_overlap_counted(self, scheduler):
+        # Interval covering half of the first refresh.
+        assert scheduler.refresh_overhead(175.0, 1000.0) == pytest.approx(175.0)
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            RefreshScheduler(DRAMTiming(t_refi=100.0, t_rfc=200.0))

@@ -1,0 +1,84 @@
+"""Tests for the CSV/ASCII exporters."""
+
+import math
+
+import pytest
+
+from repro.analysis.export import (
+    ascii_bars,
+    ascii_line,
+    series_to_csv,
+    table_to_csv,
+    write_csv,
+)
+
+
+class TestCSV:
+    def test_series_roundtrip(self):
+        text = series_to_csv("trh", [4800, 1200], {"rrs": [0.98, 0.92], "scale": [1.0, 0.99]})
+        lines = text.strip().splitlines()
+        assert lines[0] == "trh,rrs,scale"
+        assert lines[1] == "4800,0.98,1.0"
+        assert lines[2] == "1200,0.92,0.99"
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_to_csv("x", [1, 2], {"a": [1.0]})
+
+    def test_table_csv_union_of_columns(self):
+        text = table_to_csv({"gcc": {"rrs": 0.73}, "lbm": {"rrs": 1.0, "srs": 1.0}})
+        lines = text.strip().splitlines()
+        assert lines[0] == "row,rrs,srs"
+        assert lines[1] == "gcc,0.73,"
+        assert lines[2] == "lbm,1.0,1.0"
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        returned = write_csv(str(path), "a,b\n1,2\n")
+        assert returned == str(path)
+        assert path.read_text() == "a,b\n1,2\n"
+
+
+class TestAsciiBars:
+    def test_bars_scale_to_peak(self):
+        chart = ascii_bars({"a": 1.0, "b": 0.5}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_reference_marker(self):
+        chart = ascii_bars({"a": 0.5}, width=10, reference=1.0)
+        assert "|" in chart
+
+    def test_empty(self):
+        assert ascii_bars({}) == ""
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars({"a": 0.0})
+
+
+class TestAsciiLine:
+    def test_plots_all_points(self):
+        chart = ascii_line([1, 2, 3], [1.0, 2.0, 3.0], height=5, width=20)
+        assert chart.count("*") == 3
+
+    def test_log_scale_spans_magnitudes(self):
+        chart = ascii_line([1, 2, 3], [1e-3, 1.0, 1e3], height=5, width=20, log_y=True)
+        assert "(log10)" in chart
+        assert chart.count("*") == 3
+
+    def test_skips_nonfinite(self):
+        chart = ascii_line([1, 2], [1.0, math.inf], height=5, width=20)
+        assert chart.count("*") == 1
+
+    def test_all_infinite(self):
+        assert "no finite points" in ascii_line([1], [math.inf])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_line([1, 2], [1.0])
+
+    def test_constant_series(self):
+        chart = ascii_line([1, 2], [5.0, 5.0], height=4, width=10)
+        assert chart.count("*") >= 1

@@ -1,0 +1,123 @@
+"""Additional property-based tests: Bloom filters, disturbance physics,
+swap counters, and the SRS engine's end-to-end consistency."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blockhammer import BloomParameters, CountingBloomFilter, DualBloomFilter
+from repro.core.srs import SecureRowSwap
+from repro.core.swap_counters import SwapTrackingCounters
+from repro.dram.bank import Bank
+from repro.dram.config import DRAMTiming
+from repro.dram.disturbance import DisturbanceModel
+from repro.trackers.base import ExactTracker
+
+
+class TestBloomProperties:
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=300))
+    @settings(max_examples=100)
+    def test_never_undercounts(self, rows):
+        bloom = CountingBloomFilter(BloomParameters(num_counters=128, num_hashes=3))
+        true = {}
+        for row in rows:
+            bloom.insert(row)
+            true[row] = true.get(row, 0) + 1
+        for row, count in true.items():
+            assert bloom.estimate(row) >= count
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_dual_filter_never_undercounts_within_two_epochs(self, rows):
+        dual = DualBloomFilter(BloomParameters(num_counters=128, num_hashes=3))
+        for row in rows:
+            dual.insert(row)
+        dual.rotate()  # history survives one rotation
+        true = {}
+        for row in rows:
+            true[row] = true.get(row, 0) + 1
+        for row, count in true.items():
+            assert dual.estimate(row) >= count
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_clear_resets(self, row):
+        bloom = CountingBloomFilter(BloomParameters(num_counters=64, num_hashes=2))
+        bloom.insert(row)
+        bloom.clear()
+        assert bloom.estimate(row) == 0
+
+
+class TestDisturbanceProperties:
+    @given(
+        st.lists(st.integers(2, 97), min_size=1, max_size=400),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=100)
+    def test_disturbance_conserved(self, rows, radius_seed):
+        """Total disturbance equals activations x sum of in-range factors."""
+        factors = tuple(1.0 / (2.0**i) for i in range(radius_seed))
+        model = DisturbanceModel(100, trh=10**9, refresh_window=1e18,
+                                 distance_factors=factors)
+        for row in rows:
+            model.on_activation(row, 0.0)
+        total = sum(model.disturbance(r) for r in range(100))
+        expected = len(rows) * 2 * sum(factors)
+        assert abs(total - expected) < 1e-6
+
+    @given(st.lists(st.integers(1, 98), min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_refresh_never_negative(self, rows):
+        model = DisturbanceModel(100, trh=10**9, refresh_window=1e18)
+        for row in rows:
+            model.on_activation(row, 0.0)
+            model.on_refresh(row, 0.0)
+            assert model.disturbance(row) == 0.0
+        for row in range(100):
+            assert model.disturbance(row) >= 0.0
+
+
+class TestSwapCounterProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.integers(0, 500), st.booleans()),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100)
+    def test_counters_match_reference(self, events):
+        """The packed-counter semantics equal a plain per-epoch dict."""
+        counters = SwapTrackingCounters(64)
+        reference = {}
+        epoch = 0
+        for row, acts, advance in events:
+            if advance:
+                counters.advance_epoch()
+                epoch += 1
+                reference.clear()
+            result = counters.read_and_update(row, acts)
+            reference[row] = min(counters.max_count, reference.get(row, 0) + acts)
+            assert result.cumulative_activations == reference[row]
+
+
+class TestSRSEngineProperties:
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=200),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_hammering_keeps_rit_consistent(self, rows, seed):
+        """Any access sequence leaves the SRS RIT a valid permutation and
+        every logical row resolvable."""
+        bank = Bank(256, DRAMTiming(refresh_window=1e9))
+        engine = SecureRowSwap(bank, ExactTracker(5), random.Random(seed))
+        time = 0.0
+        for row in rows:
+            physical = engine.resolve(row)
+            result = bank.access(time, physical)
+            time = max(result.finish, engine.on_activation(result.finish, row))
+        engine.rit.check_invariants()
+        resolved = [engine.resolve(r) for r in range(31)]
+        assert len(set(resolved)) == 31
