@@ -10,5 +10,14 @@ the crossovers fall).
 import sys
 import os
 
+import pytest
+
 # Make `perf_common` importable when pytest collects from the repo root.
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Every figure/table reproduction is a slow end-to-end simulation;
+    mark the whole directory so the fast CI tier can deselect it."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)

@@ -1,11 +1,10 @@
 #!/usr/bin/env python3
-"""Quickstart: compare Row Hammer mitigations on one workload.
+"""Quickstart: compare Row Hammer mitigations with the Experiment API.
 
-Runs the paper's headline comparison on a single benchmark: the
-not-secure baseline, RRS (the prior state of the art), and Scale-SRS
-(the paper's design), at a Row Hammer threshold of 1200. Prints
-normalized performance, swap counts, and the hottest physical location
-each design allowed.
+Declares one :class:`ExperimentSpec` — the paper's headline comparison
+(baseline vs RRS vs SRS vs Scale-SRS) on a single benchmark — and runs
+it through the parallel grid engine. The baseline is simulated once and
+shared by every normalization.
 
 Usage::
 
@@ -16,42 +15,42 @@ Defaults: workload=gcc (the paper's worst case for RRS), trh=1200.
 
 import sys
 
-from repro.sim import (
-    SimulationParams,
-    compare_mitigations,
-    normalized_performance,
-)
+from repro.sim import ExperimentSpec, SimulationParams, run_grid
 
 
 def main() -> int:
     workload = sys.argv[1] if len(sys.argv) > 1 else "gcc"
     trh = int(sys.argv[2]) if len(sys.argv) > 2 else 1200
 
-    params = SimulationParams(
-        trh=trh,
-        num_cores=4,
-        requests_per_core=30_000,
-        time_scale=32,
+    spec = ExperimentSpec(
+        workloads=[workload],
+        mitigations=["rrs", "srs", "scale-srs"],
+        base_params=SimulationParams(
+            trh=trh,
+            num_cores=4,
+            requests_per_core=30_000,
+            time_scale=32,
+        ),
     )
+    params = spec.base_params
     print(f"Simulating '{workload}' at TRH={trh} "
           f"({params.num_cores} cores, {params.requests_per_core} misses/core, "
           f"window scaled 1/{params.time_scale})...\n")
 
-    results = compare_mitigations(workload, ["rrs", "srs", "scale-srs"], params)
-    baseline = results["baseline"]
+    results = run_grid(spec)
 
     print(f"{'design':<12s}{'norm. perf':>12s}{'slowdown':>10s}"
           f"{'swaps':>8s}{'placebacks':>12s}{'pins':>6s}{'max ACTs':>10s}")
-    for name, result in results.items():
-        norm = normalized_performance(baseline, result)
+    for result in results:
+        norm = 1.0 if result.mitigation == "baseline" else results.normalized(result)
         print(
-            f"{name:<12s}{norm:>12.4f}{100 * (1 - norm):>9.2f}%"
+            f"{result.mitigation:<12s}{norm:>12.4f}{100 * (1 - norm):>9.2f}%"
             f"{result.swaps:>8d}{result.place_backs:>12d}{result.pins:>6d}"
             f"{result.max_row_activations:>10d}"
         )
 
-    rrs = normalized_performance(baseline, results["rrs"])
-    scale = normalized_performance(baseline, results["scale-srs"])
+    table = results.normalized_table()[workload]
+    rrs, scale = table["rrs"], table["scale-srs"]
     print(
         f"\nScale-SRS recovers {100 * (scale - rrs):.2f} percentage points of "
         f"performance over RRS on this workload\n(paper, averaged over 78 "

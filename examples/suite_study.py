@@ -15,8 +15,7 @@ Usage::
 
 import sys
 
-from repro.sim import SimulationParams, compare_mitigations, normalized_performance
-from repro.sim.runner import suite_geomeans
+from repro.sim import ExperimentSpec, SimulationParams, run_grid
 from repro.workloads.suites import SUITES, workloads_in_suite
 
 DETAILED = [
@@ -35,25 +34,23 @@ def select_workloads(argv) -> list:
 
 def main() -> int:
     workloads = select_workloads(sys.argv[1:])
-    params = SimulationParams(
-        trh=1200, num_cores=4, requests_per_core=25_000, time_scale=32
+    spec = ExperimentSpec(
+        workloads=workloads,
+        mitigations=["rrs", "scale-srs"],
+        base_params=SimulationParams(
+            trh=1200, num_cores=4, requests_per_core=25_000, time_scale=32
+        ),
     )
-    mitigations = ["rrs", "scale-srs"]
 
     print(f"Figure 14 study: {len(workloads)} workloads at TRH=1200\n")
+    results = run_grid(spec)
+
     print(f"{'workload':<14s}{'rrs':>10s}{'scale-srs':>12s}")
-    table = {}
-    for workload in workloads:
-        results = compare_mitigations(workload, mitigations, params)
-        base = results["baseline"]
-        table[workload] = {
-            m: normalized_performance(base, results[m]) for m in mitigations
-        }
-        print(f"{workload:<14s}{table[workload]['rrs']:>10.4f}"
-              f"{table[workload]['scale-srs']:>12.4f}")
+    for workload, row in results.normalized_table().items():
+        print(f"{workload:<14s}{row['rrs']:>10.4f}{row['scale-srs']:>12.4f}")
 
     print("\nsuite geometric means:")
-    for suite, row in sorted(suite_geomeans(table).items()):
+    for suite, row in sorted(results.suite_geomeans().items()):
         print(f"  {suite:<12s} rrs={row['rrs']:.4f}  scale-srs={row['scale-srs']:.4f}")
     return 0
 

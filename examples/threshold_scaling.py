@@ -21,7 +21,7 @@ import sys
 from repro.analysis.power import PowerModel
 from repro.analysis.storage import StorageModel
 from repro.attacks.analytical import AttackParameters, JuggernautModel, srs_parameters
-from repro.sim import SimulationParams, compare_mitigations, normalized_performance
+from repro.sim import ExperimentSpec, SimulationParams, run_grid
 
 TRH_VALUES = [4800, 2400, 1200, 512]
 
@@ -43,15 +43,24 @@ def main() -> int:
           f"{'RRS perf':>9s} {'Scale perf':>11s} | {'RRS KB':>7s} {'Scale KB':>9s}")
     print("-" * 78)
 
+    # One declarative grid over the whole TRH axis: the engine simulates
+    # the baseline once and fans the sweep out over CPU cores.
+    spec = ExperimentSpec(
+        workloads=[workload],
+        mitigations=["rrs", "scale-srs"],
+        base_params=SimulationParams(
+            num_cores=4, requests_per_core=25_000, time_scale=32
+        ),
+        grid={"trh": TRH_VALUES},
+    )
+    results = run_grid(spec)
+    rrs_sweep = results.sweep(workload, "rrs")
+    scale_sweep = results.sweep(workload, "scale-srs")
+
     for trh in TRH_VALUES:
         rrs_days, srs_days = security_row(trh)
-        params = SimulationParams(
-            trh=trh, num_cores=4, requests_per_core=25_000, time_scale=32
-        )
-        results = compare_mitigations(workload, ["rrs", "scale-srs"], params)
-        base = results["baseline"]
-        rrs_perf = normalized_performance(base, results["rrs"])
-        scale_perf = normalized_performance(base, results["scale-srs"])
+        rrs_perf = rrs_sweep[trh]
+        scale_perf = scale_sweep[trh]
         rrs_kb = storage.breakdown(trh, "rrs").total_kb
         scale_kb = storage.breakdown(trh, "scale-srs").total_kb
         print(

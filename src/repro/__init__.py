@@ -11,19 +11,27 @@ Public API tour:
   LLC).
 - ``repro.trackers`` — Misra-Gries and Hydra aggressor-row trackers.
 - ``repro.workloads`` — the 78-workload synthetic suite.
-- ``repro.sim`` — end-to-end performance simulation and sweeps.
+- ``repro.sim`` — end-to-end performance simulation and the declarative
+  Experiment API (specs, parallel grids, result sets).
 - ``repro.analysis`` — storage (Table IV) and power (Table V) models.
+- ``repro.registry`` — the mitigation/tracker registry every layer
+  (factory, CLI, experiment grids) discovers designs from.
 
 Quickstart::
 
-    from repro.sim import run_workload, SimulationParams, compare_mitigations
-    results = compare_mitigations("gcc", ["rrs", "scale-srs"],
-                                  SimulationParams(trh=1200))
+    from repro.sim import ExperimentSpec, SimulationParams, run_grid
+    results = run_grid(ExperimentSpec(
+        workloads=["gcc"],
+        mitigations=["rrs", "scale-srs"],
+        base_params=SimulationParams(trh=1200),
+    ))
+    print(results.normalized_table())
 """
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "registry",
     "core",
     "dram",
     "controller",

@@ -21,7 +21,7 @@ Two components, per channel:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.storage import StorageModel
 
@@ -50,7 +50,7 @@ class PowerBreakdown:
 class PowerModel:
     """Computes Table V and its extrapolations to other thresholds."""
 
-    def __init__(self, storage: StorageModel = None):
+    def __init__(self, storage: Optional[StorageModel] = None):
         self.storage = storage or StorageModel()
 
     def _ts(self, trh: int, design: str) -> int:

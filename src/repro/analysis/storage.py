@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.dram.config import DRAMTiming
 
@@ -89,7 +89,7 @@ class StorageModel:
 
     def __init__(
         self,
-        timing: DRAMTiming = None,
+        timing: Optional[DRAMTiming] = None,
         rows_per_bank: int = 128 * 1024,
         rrs_swap_rate: float = 6.0,
         scale_swap_rate: float = 3.0,

@@ -130,7 +130,7 @@ def _binomial_pmf_at_least_once(g: float, p: float, k: int) -> float:
 class JuggernautModel:
     """Evaluates Equations 1-10 for RRS (or SRS via ``latent_per_round=0``)."""
 
-    def __init__(self, params: AttackParameters = None):
+    def __init__(self, params: Optional[AttackParameters] = None):
         self.params = params or AttackParameters()
         if self.params.ts <= 0 or self.params.trh <= 0:
             raise ValueError("thresholds must be positive")

@@ -13,6 +13,8 @@ rounds and zero latent contribution.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.attacks.analytical import AttackParameters, JuggernautModel, srs_parameters
 
 
@@ -20,7 +22,7 @@ def random_guess_time_to_break_days(
     trh: int,
     swap_rate: float,
     rows_per_bank: int = 128 * 1024,
-    params: AttackParameters = None,
+    params: Optional[AttackParameters] = None,
 ) -> float:
     """Days for the naive random-guess attack to break a row-swap defense.
 

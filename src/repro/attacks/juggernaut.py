@@ -135,7 +135,7 @@ def multi_bank_time_to_break_days(
     trh: int,
     swap_rate: float,
     num_banks: int,
-    params: AttackParameters = None,
+    params: Optional[AttackParameters] = None,
     t_faw: float = 35.0,
 ) -> float:
     """Section III-C: expected days to break RRS hammering ``B`` banks.
@@ -176,7 +176,7 @@ def open_page_time_to_break_days(
     trh: int,
     swap_rate: float,
     act_gap_factor: float = 1.5,
-    params: AttackParameters = None,
+    params: Optional[AttackParameters] = None,
     refresh_window: Optional[float] = None,
 ) -> float:
     """Section VIII-3: Juggernaut under an open-page memory controller.

@@ -51,7 +51,7 @@ class MonteCarloJuggernaut:
 
     def __init__(
         self,
-        params: AttackParameters = None,
+        params: Optional[AttackParameters] = None,
         seed: int = 0xBEEF,
     ):
         self.params = params or AttackParameters()

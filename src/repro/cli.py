@@ -3,12 +3,20 @@
 Commands:
 
 - ``list-workloads`` — the 78-workload suite with profiles.
+- ``list-mitigations`` — registered mitigations and trackers.
 - ``run`` — performance comparison of mitigations on one workload.
+- ``sweep`` — normalized performance across TRH values (parallel).
+- ``grid`` — a workloads x mitigations x TRH grid through the parallel
+  experiment engine, with optional CSV/JSON export.
 - ``attack`` — the Juggernaut analytical model at a design point.
 - ``security-sweep`` — time-to-break RRS/SRS across swap rates.
 - ``outliers`` — the Figure 13 outlier-appearance model.
 - ``storage`` — Table IV storage breakdowns.
 - ``power`` — Table V power overheads.
+
+Mitigation and tracker choices are generated from
+:mod:`repro.registry`, so a newly registered design shows up here with
+no CLI change.
 """
 
 from __future__ import annotations
@@ -21,7 +29,8 @@ from repro.analysis.power import PowerModel
 from repro.analysis.storage import StorageModel
 from repro.attacks.analytical import AttackParameters, JuggernautModel, srs_parameters
 from repro.attacks.outliers import OutlierModel
-from repro.sim import SimulationParams, compare_mitigations, normalized_performance
+from repro.registry import MITIGATIONS, TRACKERS
+from repro.sim import ExperimentSpec, SimulationParams, run_grid
 from repro.workloads.suites import ALL_WORKLOADS, PROFILES
 
 
@@ -41,21 +50,95 @@ def _cmd_list_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    params = SimulationParams(
-        trh=args.trh,
+def _cmd_list_mitigations(args: argparse.Namespace) -> int:
+    print("mitigations:")
+    for info in MITIGATIONS:
+        rate = f"rate {info.default_swap_rate:g}" if info.default_swap_rate else "no swap rate"
+        print(f"  {info.name:<14s}{rate:<14s}{info.description}")
+    print("trackers:")
+    for tracker in TRACKERS:
+        print(f"  {tracker.name:<14s}{'':<14s}{tracker.description}")
+    return 0
+
+
+def _params_from_args(args: argparse.Namespace, trh: Optional[int] = None) -> SimulationParams:
+    return SimulationParams(
+        trh=trh if trh is not None else args.trh,
         num_cores=args.cores,
         requests_per_core=args.requests,
         time_scale=args.time_scale,
         tracker=args.tracker,
     )
-    results = compare_mitigations(args.workload, args.mitigations, params)
-    baseline = results["baseline"]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        workloads=[args.workload],
+        mitigations=list(args.mitigations),
+        base_params=_params_from_args(args),
+    )
+    results = run_grid(spec, max_workers=args.jobs)
     print(f"{'design':<14s}{'norm perf':>10s}{'swaps':>8s}{'pins':>6s}{'maxACT':>8s}")
-    for name, result in results.items():
-        norm = normalized_performance(baseline, result)
-        print(f"{name:<14s}{norm:>10.4f}{result.swaps:>8d}{result.pins:>6d}"
-              f"{result.max_row_activations:>8d}")
+    for result in results:
+        norm = results.normalized(result) if result.mitigation != "baseline" else 1.0
+        print(f"{result.mitigation:<14s}{norm:>10.4f}{result.swaps:>8d}"
+              f"{result.pins:>6d}{result.max_row_activations:>8d}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        workloads=[args.workload],
+        mitigations=list(args.mitigations),
+        base_params=_params_from_args(args, trh=args.trh[0]),
+        grid={"trh": list(args.trh)},
+    )
+    results = run_grid(spec, max_workers=args.jobs)
+    sweeps = {m: results.sweep(args.workload, m) for m in args.mitigations}
+    print(f"{'TRH':>6s}" + "".join(f"{m:>14s}" for m in args.mitigations))
+    for trh in sorted(set(args.trh), reverse=True):
+        cells = "".join(
+            f"{sweeps[m].get(trh, float('nan')):>14.4f}" for m in args.mitigations
+        )
+        print(f"{trh:>6d}{cells}")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        workloads=list(args.workloads),
+        mitigations=list(args.mitigations),
+        base_params=_params_from_args(args, trh=args.trh[0]),
+        grid={"trh": list(args.trh)},
+    )
+    def progress(done: int, total: int, result) -> None:
+        if args.verbose:
+            print(f"[{done}/{total}] {result.summary()}")
+
+    results = run_grid(spec, max_workers=args.jobs, progress=progress)
+    for trh in sorted(set(args.trh), reverse=True):
+        at_trh = results.filter(trh=trh)
+        print(f"\n=== TRH = {trh} (normalized performance) ===")
+        print(f"{'workload':<14s}" + "".join(f"{m:>14s}" for m in args.mitigations))
+        for workload, row in at_trh.normalized_table().items():
+            cells = "".join(
+                f"{row.get(m, float('nan')):>14.4f}" for m in args.mitigations
+            )
+            print(f"{workload:<14s}{cells}")
+        means = at_trh.suite_geomeans()
+        if "ALL" in means:
+            cells = "".join(
+                f"{means['ALL'].get(m, float('nan')):>14.4f}"
+                for m in args.mitigations
+            )
+            print(f"{'GEOMEAN':<14s}{cells}")
+    if args.json:
+        results.save(args.json)
+        print(f"\nwrote {args.json}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(results.to_csv())
+        print(f"wrote {args.csv}")
     return 0
 
 
@@ -111,6 +194,35 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_sim_options(
+    parser: argparse.ArgumentParser,
+    mitigation_names: List[str],
+    tracker_names: List[str],
+    default_mitigations: List[str],
+    default_requests: int = 30_000,
+) -> None:
+    """Simulation knobs shared by run/sweep/grid, registry-driven."""
+    parser.add_argument(
+        "--mitigations",
+        nargs="+",
+        default=default_mitigations,
+        choices=mitigation_names,
+        help="registered mitigations to compare",
+    )
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=default_requests,
+                        help="memory requests per core")
+    parser.add_argument("--time-scale", type=int, default=32)
+    parser.add_argument(
+        "--tracker",
+        default="misra-gries",
+        choices=tracker_names,
+        help="registered aggressor-row tracker",
+    )
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: CPU count)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -118,19 +230,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    mitigation_names = [
+        info.name for info in MITIGATIONS if not info.is_baseline
+    ]
+    tracker_names = list(TRACKERS.names())
+
     p = sub.add_parser("list-workloads", help="list the 78-workload suite")
     p.add_argument("--suite", help="filter by suite name")
     p.set_defaults(func=_cmd_list_workloads)
 
+    p = sub.add_parser(
+        "list-mitigations", help="list registered mitigations and trackers"
+    )
+    p.set_defaults(func=_cmd_list_mitigations)
+
     p = sub.add_parser("run", help="performance comparison on one workload")
     p.add_argument("workload")
-    p.add_argument("--mitigations", nargs="+", default=["rrs", "scale-srs"])
     p.add_argument("--trh", type=int, default=1200)
-    p.add_argument("--cores", type=int, default=4)
-    p.add_argument("--requests", type=int, default=30_000)
-    p.add_argument("--time-scale", type=int, default=32)
-    p.add_argument("--tracker", default="misra-gries")
+    _add_sim_options(p, mitigation_names, tracker_names, ["rrs", "scale-srs"])
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("sweep", help="TRH sweep on one workload (parallel)")
+    p.add_argument("workload")
+    p.add_argument("--trh", type=int, nargs="+", default=[4800, 2400, 1200])
+    _add_sim_options(p, mitigation_names, tracker_names, ["rrs", "scale-srs"],
+                     default_requests=12_000)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "grid",
+        help="workloads x mitigations x TRH grid (parallel, deduped baselines)",
+    )
+    p.add_argument("--workloads", nargs="+", default=["gcc", "lbm", "povray"])
+    p.add_argument("--trh", type=int, nargs="+", default=[2400, 1200])
+    p.add_argument("--csv", help="export the result set as CSV")
+    p.add_argument("--json", help="export the result set (with parameters) as JSON")
+    p.add_argument("--verbose", action="store_true", help="per-cell progress")
+    _add_sim_options(p, mitigation_names, tracker_names, ["rrs", "scale-srs"],
+                     default_requests=12_000)
+    p.set_defaults(func=_cmd_grid)
 
     p = sub.add_parser("attack", help="Juggernaut analytical model")
     p.add_argument("--trh", type=int, default=4800)

@@ -50,7 +50,7 @@ class MemorySystem:
 
     def __init__(
         self,
-        config: SystemConfig = None,
+        config: Optional[SystemConfig] = None,
         mitigation_factory: Optional[MitigationFactory] = None,
         policy: PagePolicy = PagePolicy.CLOSED,
     ):

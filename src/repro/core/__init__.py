@@ -18,6 +18,12 @@ Modules:
   epoch register.
 - :mod:`repro.core.pin_buffer` — the pin-buffer redirecting pinned DRAM
   rows into reserved LLC sets.
+
+Every mitigation design registers itself with
+:func:`repro.registry.register_mitigation`; importing this package
+populates the registry, and the simulator, CLI, and experiment grids
+discover designs (names, default swap rates, builders) from it. Adding
+a mitigation is one decorated class — no factory or CLI edits.
 """
 
 from repro.core.cat import CollisionAvoidanceTable
@@ -41,8 +47,11 @@ from repro.core.blockhammer import (
     CountingBloomFilter,
     DualBloomFilter,
 )
+from repro.registry import MITIGATIONS, register_mitigation
 
 __all__ = [
+    "MITIGATIONS",
+    "register_mitigation",
     "CollisionAvoidanceTable",
     "RRSIndirectionTable",
     "SRSIndirectionTable",

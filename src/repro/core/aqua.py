@@ -26,6 +26,7 @@ from repro.core.mitigation import (
     MitigationKind,
 )
 from repro.dram.bank import Bank
+from repro.registry import register_mitigation
 from repro.trackers.base import Tracker
 
 
@@ -33,6 +34,14 @@ class QuarantineFullError(RuntimeError):
     """Raised when the quarantine region overflows within one window."""
 
 
+@register_mitigation(
+    "aqua",
+    description="AQUA quarantine migration (comparator; rate 2 = TRH/2 trigger)",
+    default_swap_rate=2.0,
+    builder=lambda ctx: AquaQuarantine(
+        ctx.bank, ctx.tracker, keep_events=ctx.keep_events
+    ),
+)
 class AquaQuarantine(Mitigation):
     """Quarantine-based aggressor migration for one bank.
 

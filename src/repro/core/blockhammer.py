@@ -21,7 +21,7 @@ The paper's complaints, both reproducible here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.cat import _splitmix64
 from repro.core.mitigation import (
@@ -30,6 +30,7 @@ from repro.core.mitigation import (
     MitigationKind,
 )
 from repro.dram.bank import Bank
+from repro.registry import register_mitigation
 
 
 @dataclass
@@ -49,7 +50,7 @@ class CountingBloomFilter:
     history; :class:`DualBloomFilter` composes them.
     """
 
-    def __init__(self, params: BloomParameters = None, seed: int = 0xB10):
+    def __init__(self, params: Optional[BloomParameters] = None, seed: int = 0xB10):
         self.params = params or BloomParameters()
         if self.params.num_counters <= 0 or self.params.num_hashes <= 0:
             raise ValueError("filter geometry must be positive")
@@ -87,7 +88,7 @@ class DualBloomFilter:
     when state resets.
     """
 
-    def __init__(self, params: BloomParameters = None, seed: int = 0xB10):
+    def __init__(self, params: Optional[BloomParameters] = None, seed: int = 0xB10):
         self.filters = (
             CountingBloomFilter(params, seed),
             CountingBloomFilter(params, seed + 7),
@@ -107,6 +108,14 @@ class DualBloomFilter:
         self.filters[self.active].clear()
 
 
+@register_mitigation(
+    "blockhammer",
+    description="BlockHammer throttling (comparator; no tracker, no swaps)",
+    uses_tracker=False,
+    builder=lambda ctx: BlockHammerThrottle(
+        ctx.bank, ctx.trh, keep_events=ctx.keep_events
+    ),
+)
 class BlockHammerThrottle(Mitigation):
     """Throttling engine: delay blacklisted rows below the threshold.
 
@@ -123,7 +132,7 @@ class BlockHammerThrottle(Mitigation):
         bank: Bank,
         trh: int,
         blacklist_fraction: float = 0.5,
-        bloom: BloomParameters = None,
+        bloom: Optional[BloomParameters] = None,
         keep_events: bool = False,
     ):
         super().__init__(bank, None, keep_events)
@@ -186,7 +195,7 @@ def dos_false_positive_delay(
     trh: int,
     attacker_rows: int,
     victim_row: int,
-    bloom: BloomParameters = None,
+    bloom: Optional[BloomParameters] = None,
     seed: int = 0xD05,
 ) -> Tuple[bool, float]:
     """The paper's DoS concern, measured.

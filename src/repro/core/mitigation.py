@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.dram.bank import Bank
+from repro.registry import register_mitigation
 from repro.trackers.base import Tracker
 
 
@@ -129,6 +130,13 @@ class Mitigation(abc.ABC):
         self.stats.record(event, self.keep_events)
 
 
+@register_mitigation(
+    "baseline",
+    description="no mitigation (not secure); the normalization reference",
+    uses_tracker=False,
+    is_baseline=True,
+    builder=lambda ctx: BaselineMitigation(ctx.bank),
+)
 class BaselineMitigation(Mitigation):
     """The not-secure baseline: observes activations, never mitigates."""
 

@@ -29,6 +29,7 @@ from repro.core.mitigation import (
 )
 from repro.core.rit import RRSIndirectionTable, SRSIndirectionTable
 from repro.dram.bank import Bank
+from repro.registry import register_mitigation
 from repro.trackers.base import Tracker
 
 
@@ -39,6 +40,14 @@ def rit_capacity(max_activations: int, swap_threshold: int) -> int:
     return 4 * max_swaps
 
 
+@register_mitigation(
+    "rrs",
+    description="Randomized Row-Swap (ASPLOS'22), the prior state of the art",
+    default_swap_rate=6.0,
+    builder=lambda ctx: RandomizedRowSwap(
+        ctx.bank, ctx.tracker, ctx.rng, keep_events=ctx.keep_events
+    ),
+)
 class RandomizedRowSwap(Mitigation):
     """The RRS mitigation engine for one bank.
 
@@ -284,3 +293,19 @@ class RandomizedRowSwap(Mitigation):
             # Figure 4 penalty, and why practical row swap needs unswaps).
             self.epoch_blocking_until = max(self.epoch_blocking_until, cursor)
         self._rit.end_epoch()
+
+
+# The Figure 4 ablation is the same engine with immediate unswaps
+# disabled; it registers as its own design so sweeps can compare them.
+register_mitigation(
+    "rrs-no-unswap",
+    description="RRS ablation without immediate unswaps (Figure 4)",
+    default_swap_rate=6.0,
+    builder=lambda ctx: RandomizedRowSwap(
+        ctx.bank,
+        ctx.tracker,
+        ctx.rng,
+        immediate_unswap=False,
+        keep_events=ctx.keep_events,
+    ),
+)(RandomizedRowSwap)

@@ -23,11 +23,25 @@ from repro.core.mitigation import MitigationEvent, MitigationKind
 from repro.core.pin_buffer import PinBuffer, PinBufferFullError
 from repro.core.srs import SecureRowSwap
 from repro.dram.bank import Bank
+from repro.registry import register_mitigation
 from repro.trackers.base import Tracker
 
 DEFAULT_SWAP_RATE = 3
 
 
+@register_mitigation(
+    "scale-srs",
+    description="Scale-SRS: half-rate SRS with outlier pinning in the LLC",
+    default_swap_rate=3.0,
+    builder=lambda ctx: ScaleSecureRowSwap(
+        ctx.bank,
+        ctx.tracker,
+        ctx.rng,
+        pin_buffer=ctx.pin_buffer,
+        bank_key=ctx.bank_key,
+        keep_events=ctx.keep_events,
+    ),
+)
 class ScaleSecureRowSwap(SecureRowSwap):
     """Scale-SRS engine: SRS plus outlier pinning in the LLC.
 

@@ -30,9 +30,18 @@ from repro.core.rit import SRSIndirectionTable
 from repro.core.rrs import rit_capacity
 from repro.core.swap_counters import SwapTrackingCounters
 from repro.dram.bank import Bank
+from repro.registry import register_mitigation
 from repro.trackers.base import Tracker
 
 
+@register_mitigation(
+    "srs",
+    description="Secure Row-Swap: swap-only RIT, lazy place-backs, detection",
+    default_swap_rate=6.0,
+    builder=lambda ctx: SecureRowSwap(
+        ctx.bank, ctx.tracker, ctx.rng, keep_events=ctx.keep_events
+    ),
+)
 class SecureRowSwap(Mitigation):
     """The SRS mitigation engine for one bank.
 

@@ -13,7 +13,7 @@ counters are bulk-reset (64 row reads, about 41 us every 4.6 hours).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
 EPOCH_ID_BITS = 19
@@ -67,7 +67,7 @@ class SwapTrackingCounters:
     :class:`CounterReadResult` so the engine can charge bank time.
     """
 
-    def __init__(self, rows_per_bank: int, epoch_register: EpochRegister = None):
+    def __init__(self, rows_per_bank: int, epoch_register: Optional[EpochRegister] = None):
         if rows_per_bank <= 0:
             raise ValueError("rows_per_bank must be positive")
         self.rows_per_bank = rows_per_bank

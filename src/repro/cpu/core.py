@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Tuple
+from typing import Deque, Optional, Tuple
 
 from repro.dram.config import SystemConfig
 
@@ -46,7 +46,7 @@ class TraceCore:
         max_outstanding: MSHR-like cap on loads in flight.
     """
 
-    def __init__(self, core_id: int, config: SystemConfig = None, max_outstanding: int = 16):
+    def __init__(self, core_id: int, config: Optional[SystemConfig] = None, max_outstanding: int = 16):
         self.core_id = core_id
         self.config = config or SystemConfig()
         if max_outstanding <= 0:

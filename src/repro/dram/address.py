@@ -8,6 +8,8 @@ and the row address occupies the high bits.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import dataclass
 
 from repro.dram.config import DRAMOrganization
@@ -45,7 +47,7 @@ class AddressMapper:
     ``| line offset | channel | bank | rank | column | row |``
     """
 
-    def __init__(self, organization: DRAMOrganization = None):
+    def __init__(self, organization: Optional[DRAMOrganization] = None):
         self.organization = organization or DRAMOrganization()
         org = self.organization
         self._offset_bits = _bits_for(org.line_size_bytes)

@@ -137,7 +137,7 @@ class Bank:
     def __init__(
         self,
         num_rows: int,
-        timing: DRAMTiming = None,
+        timing: Optional[DRAMTiming] = None,
         policy: PagePolicy = PagePolicy.CLOSED,
     ):
         if num_rows <= 0:

@@ -6,7 +6,7 @@ address. Refresh is modelled per rank (all-bank refresh, as on DDR4).
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from repro.dram.bank import Bank
 from repro.dram.commands import PagePolicy
@@ -21,7 +21,7 @@ class Rank:
         self,
         num_banks: int,
         rows_per_bank: int,
-        timing: DRAMTiming = None,
+        timing: Optional[DRAMTiming] = None,
         policy: PagePolicy = PagePolicy.CLOSED,
     ):
         self.timing = timing or DRAMTiming()
@@ -49,8 +49,8 @@ class Channel:
 
     def __init__(
         self,
-        organization: DRAMOrganization = None,
-        timing: DRAMTiming = None,
+        organization: Optional[DRAMOrganization] = None,
+        timing: Optional[DRAMTiming] = None,
         policy: PagePolicy = PagePolicy.CLOSED,
     ):
         self.organization = organization or DRAMOrganization()

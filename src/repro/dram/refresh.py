@@ -10,7 +10,7 @@ equation (Eq. 4) comes from:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.dram.config import DRAMTiming
 
@@ -24,7 +24,7 @@ class RefreshScheduler:
     any refreshes that overlap it.
     """
 
-    def __init__(self, timing: DRAMTiming = None):
+    def __init__(self, timing: Optional[DRAMTiming] = None):
         self.timing = timing or DRAMTiming()
         if self.timing.t_refi <= self.timing.t_rfc:
             raise ValueError("tREFI must exceed tRFC")

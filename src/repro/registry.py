@@ -1,0 +1,259 @@
+"""Central registry of mitigations and trackers.
+
+The simulator, the CLI, and the experiment engine all need to answer the
+same questions — "which mitigations exist?", "what is this design's
+default swap rate?", "how do I build one for a bank?" — and before this
+module existed the answers were hard-coded string tuples scattered
+across ``sim/factory.py``. The registry turns each answer into metadata
+carried by the design itself: a mitigation (or tracker) class declares
+its name, description, defaults, and builder hook with a decorator, and
+everything downstream (CLI choices, factory dispatch, grid validation)
+is derived from the registered set.
+
+Adding a new design is one decorated class::
+
+    from repro.registry import register_mitigation
+
+    @register_mitigation(
+        "my-defence",
+        description="My new Row Hammer defence",
+        default_swap_rate=4.0,
+        builder=lambda ctx: MyDefence(ctx.bank, ctx.tracker, ctx.rng),
+    )
+    class MyDefence(Mitigation):
+        ...
+
+and ``python -m repro run --mitigations my-defence ...`` works with no
+other change (see :mod:`repro.core.aqua` and
+:mod:`repro.core.blockhammer` for real examples).
+
+The registry module itself imports nothing from :mod:`repro.core` or
+:mod:`repro.trackers` — those modules import *it* to self-register.
+Lookup methods lazily import the built-in packages so the registry is
+populated no matter which module is imported first.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Iterator,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T")
+
+
+@dataclass
+class MitigationBuildContext:
+    """Everything a mitigation builder may need for one bank's engine.
+
+    Attributes:
+        bank: The bank the engine will protect.
+        bank_key: ``(channel, rank, bank)`` tuple identifying the bank.
+        trh: The (scaled) Row Hammer threshold.
+        swap_threshold: Tracker trigger threshold ``TS`` (== ``trh`` for
+            designs without a swap rate).
+        tracker: Per-bank tracker instance, or ``None`` when the design
+            declared ``uses_tracker=False``.
+        rng: Deterministic per-bank random stream.
+        pin_buffer: Shared pin-buffer (Scale-SRS LLC pinning).
+        keep_events: Retain per-event mitigation logs (tests only).
+    """
+
+    bank: Any
+    bank_key: tuple
+    trh: int
+    swap_threshold: int
+    tracker: Optional[Any]
+    rng: random.Random
+    pin_buffer: Any
+    keep_events: bool = False
+
+
+@dataclass(frozen=True)
+class MitigationInfo:
+    """Registry record for one mitigation design."""
+
+    name: str
+    cls: type
+    builder: Callable[[MitigationBuildContext], Any]
+    description: str = ""
+    default_swap_rate: Optional[float] = None
+    uses_tracker: bool = True
+    is_baseline: bool = False
+
+
+@dataclass(frozen=True)
+class TrackerInfo:
+    """Registry record for one aggressor-row tracker.
+
+    ``builder(threshold, timing)`` must return a tracker sized securely
+    for that trigger threshold under the given :class:`DRAMTiming`.
+    """
+
+    name: str
+    cls: type
+    builder: Callable[[int, Any], Any]
+    description: str = ""
+
+
+class Registry(Generic[T]):
+    """Name -> info mapping with duplicate rejection and lazy population.
+
+    Args:
+        kind: Human-readable kind ("mitigation", "tracker") for errors.
+        populate: Callable importing the built-in implementations so
+            their decorators run; invoked at most once, on first lookup.
+    """
+
+    def __init__(self, kind: str, populate: Optional[Callable[[], None]] = None):
+        self.kind = kind
+        self._populate = populate
+        self._populated = populate is None
+        self._entries: Dict[str, T] = {}
+
+    def _ensure_populated(self) -> None:
+        if not self._populated:
+            # Flag only after success so a failed import is retried (and
+            # re-raised) instead of leaving a silently empty registry.
+            self._populate()
+            self._populated = True
+
+    def add(self, name: str, info: T) -> None:
+        """Register ``info`` under ``name``; duplicate names are an error."""
+        if name in self._entries:
+            raise ValueError(f"duplicate {self.kind} name {name!r}")
+        self._entries[name] = info
+
+    def remove(self, name: str) -> None:
+        """Unregister ``name`` (test hygiene; built-ins should stay put)."""
+        self._ensure_populated()
+        del self._entries[name]
+
+    def get(self, name: str) -> T:
+        self._ensure_populated()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; options: {self.names()}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        self._ensure_populated()
+        return tuple(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_populated()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[T]:
+        self._ensure_populated()
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        self._ensure_populated()
+        return len(self._entries)
+
+
+def _populate_mitigations() -> None:
+    import repro.core  # noqa: F401  (registers the built-in designs)
+
+
+def _populate_trackers() -> None:
+    import repro.trackers  # noqa: F401  (registers the built-in trackers)
+
+
+MITIGATIONS: Registry[MitigationInfo] = Registry("mitigation", _populate_mitigations)
+TRACKERS: Registry[TrackerInfo] = Registry("tracker", _populate_trackers)
+
+
+def register_mitigation(
+    name: str,
+    *,
+    builder: Callable[[MitigationBuildContext], Any],
+    description: str = "",
+    default_swap_rate: Optional[float] = None,
+    uses_tracker: bool = True,
+    is_baseline: bool = False,
+) -> Callable[[type], type]:
+    """Class decorator registering a mitigation design.
+
+    Args:
+        name: CLI/API name of the design.
+        builder: ``ctx -> Mitigation`` hook building one bank's engine
+            from a :class:`MitigationBuildContext`.
+        description: One-line description (shown by ``list-mitigations``).
+        default_swap_rate: ``TRH / TS`` used when the caller passes no
+            explicit swap rate; ``None`` means the design has no swap
+            rate and its tracker (if any) triggers at ``TRH`` directly.
+        uses_tracker: Whether a per-bank tracker should be built and
+            handed to the builder.
+        is_baseline: Marks the no-mitigation reference design.
+    """
+
+    def decorate(cls: type) -> type:
+        MITIGATIONS.add(
+            name,
+            MitigationInfo(
+                name=name,
+                cls=cls,
+                builder=builder,
+                description=description,
+                default_swap_rate=default_swap_rate,
+                uses_tracker=uses_tracker,
+                is_baseline=is_baseline,
+            ),
+        )
+        return cls
+
+    return decorate
+
+
+def register_tracker(
+    name: str,
+    *,
+    builder: Callable[[int, Any], Any],
+    description: str = "",
+) -> Callable[[type], type]:
+    """Class decorator registering a tracker.
+
+    ``builder(threshold, timing)`` sizes and builds the tracker for a
+    trigger threshold under the given timing.
+    """
+
+    def decorate(cls: type) -> type:
+        TRACKERS.add(
+            name,
+            TrackerInfo(name=name, cls=cls, builder=builder, description=description),
+        )
+        return cls
+
+    return decorate
+
+
+def mitigation_names() -> Tuple[str, ...]:
+    """Registered mitigation names, registration order."""
+    return MITIGATIONS.names()
+
+
+def tracker_names() -> Tuple[str, ...]:
+    """Registered tracker names, registration order."""
+    return TRACKERS.names()
+
+
+def default_swap_rates() -> Dict[str, float]:
+    """``{name: default swap rate}`` for designs that declare one."""
+    return {
+        info.name: info.default_swap_rate
+        for info in MITIGATIONS
+        if info.default_swap_rate is not None
+    }

@@ -1,25 +1,64 @@
-"""End-to-end performance simulation: wiring, drivers, and sweeps."""
+"""End-to-end performance simulation: wiring, experiments, and sweeps.
 
-from repro.sim.factory import make_mitigation_factory, make_tracker, MITIGATION_NAMES
-from repro.sim.results import SimulationResult, normalized_performance
-from repro.sim.simulator import PerformanceSimulation, SimulationParams
-from repro.sim.runner import (
-    run_workload,
-    compare_mitigations,
-    sweep_trh,
-    suite_geomeans,
+The modern entry point is the declarative Experiment API::
+
+    from repro.sim import ExperimentSpec, SimulationParams, run_grid
+
+    spec = ExperimentSpec(
+        workloads=["gcc", "lbm"],
+        mitigations=["rrs", "scale-srs"],
+        grid={"trh": [4800, 1200]},
+    )
+    table = run_grid(spec).filter(trh=1200).normalized_table()
+
+The legacy helpers (:func:`run_workload`, :func:`compare_mitigations`,
+:func:`sweep_trh`) remain as deprecated shims over the same engine.
+"""
+
+from repro.sim.experiment import (
+    ExperimentCell,
+    ExperimentSpec,
+    ResultSet,
+    baseline_view,
+    plan_cells,
+    resolve_workload,
+    run_grid,
 )
+from repro.sim.factory import (
+    MITIGATION_NAMES,
+    TRACKER_NAMES,
+    make_mitigation_factory,
+    make_tracker,
+)
+from repro.sim.results import SimulationResult, normalized_performance
+from repro.sim.runner import (
+    compare_mitigations,
+    normalized_table,
+    run_workload,
+    suite_geomeans,
+    sweep_trh,
+)
+from repro.sim.simulator import PerformanceSimulation, SimulationParams
 
 __all__ = [
+    "ExperimentCell",
+    "ExperimentSpec",
+    "ResultSet",
+    "baseline_view",
+    "plan_cells",
+    "resolve_workload",
+    "run_grid",
     "make_mitigation_factory",
     "make_tracker",
     "MITIGATION_NAMES",
+    "TRACKER_NAMES",
     "SimulationResult",
     "normalized_performance",
     "PerformanceSimulation",
     "SimulationParams",
     "run_workload",
     "compare_mitigations",
+    "normalized_table",
     "sweep_trh",
     "suite_geomeans",
 ]

@@ -1,0 +1,551 @@
+"""Declarative experiments: specs, grids, parallel execution, result sets.
+
+This module is the front door for running performance studies. Instead
+of hand-rolled loops over workloads, mitigations, and thresholds, an
+experiment is *declared* once::
+
+    from repro.sim import ExperimentSpec, SimulationParams, run_grid
+
+    spec = ExperimentSpec(
+        workloads=["gcc", "lbm", "gups"],
+        mitigations=["rrs", "scale-srs"],
+        base_params=SimulationParams(requests_per_core=20_000),
+        grid={"trh": [4800, 2400, 1200]},
+    )
+    results = run_grid(spec)             # parallel across CPU cores
+    table = results.filter(trh=1200).normalized_table()
+
+and the engine takes care of the rest:
+
+- **Grid expansion** applies each axis with :func:`dataclasses.replace`
+  over :class:`SimulationParams`, so new parameter fields are picked up
+  automatically and axis names are validated against the dataclass.
+- **Baseline deduplication**: a baseline run depends only on the
+  workload and the non-mitigation parameters (cores, trace length, time
+  scale, seed, policy, bank geometry), so the engine runs exactly one
+  baseline per unique combination instead of one per grid cell — a pure
+  waste multiplier in the old ``compare_mitigations``-per-cell pattern.
+- **Parallel execution** fans cells out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`. Every cell carries
+  its full parameter record and seeds its own RNG streams, so results
+  are deterministic and independent of scheduling order.
+- **Result sets** (:class:`ResultSet`) pair each result with its
+  matching baseline for normalization, aggregate per-suite geometric
+  means, and round-trip through JSON/CSV.
+
+Mitigation names are validated against :mod:`repro.registry` before any
+process is spawned, so a typo fails in milliseconds, not minutes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.cpu.core import CoreResult
+from repro.dram.commands import PagePolicy
+from repro.registry import MITIGATIONS
+from repro.sim.results import (
+    SimulationResult,
+    geometric_mean,
+    normalized_performance,
+)
+from repro.sim.simulator import PerformanceSimulation, SimulationParams
+from repro.workloads.suites import ALL_WORKLOADS, WorkloadSpec
+
+WorkloadLike = Union[str, WorkloadSpec]
+
+_PARAM_FIELDS = tuple(f.name for f in fields(SimulationParams))
+
+# Parameters that only matter once a mitigation engine exists; a baseline
+# simulation is identical across all of their values.
+_MITIGATION_ONLY_FIELDS = ("trh", "swap_rate", "tracker")
+
+BASELINE = "baseline"
+
+
+def resolve_workload(workload: WorkloadLike) -> WorkloadSpec:
+    """Look a workload up by name (specs pass through unchanged)."""
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    for spec in ALL_WORKLOADS:
+        if spec.name == workload:
+            return spec
+    raise KeyError(f"unknown workload {workload!r}")
+
+
+def baseline_view(params: SimulationParams) -> SimulationParams:
+    """``params`` with mitigation-only fields reset to their defaults.
+
+    Two parameter sets with equal baseline views produce bit-identical
+    baseline simulations; the grid engine keys its deduplication on this.
+    """
+    defaults = SimulationParams()
+    return replace(
+        params,
+        **{name: getattr(defaults, name) for name in _MITIGATION_ONLY_FIELDS},
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One (workload, mitigation, parameters) point of a grid.
+
+    ``workload_spec`` carries an ad-hoc :class:`WorkloadSpec` that is
+    not part of the named suite; when ``None`` the engine resolves
+    ``workload`` by name.
+    """
+
+    workload: str
+    mitigation: str
+    params: SimulationParams
+    workload_spec: Optional[WorkloadSpec] = None
+
+
+@dataclass
+class ExperimentSpec:
+    """A declarative workloads x mitigations x parameter-grid experiment.
+
+    Attributes:
+        workloads: Workload names (or :class:`WorkloadSpec` instances).
+        mitigations: Registered mitigation names; ``baseline`` need not
+            be listed — see ``include_baseline``.
+        base_params: Parameters shared by every cell.
+        grid: ``{SimulationParams field: [values]}`` axes; the cross
+            product of all axes is applied over ``base_params`` with
+            :func:`dataclasses.replace`.
+        include_baseline: Run the matching baselines (deduplicated) so
+            the :class:`ResultSet` can normalize. Disable only for
+            studies that never normalize.
+        replicates: Repeat every cell with seeds ``seed, seed+1, ...``
+            (deterministically derived); each replicate normalizes
+            against the baseline of its own seed.
+    """
+
+    workloads: Sequence[WorkloadLike]
+    mitigations: Sequence[str]
+    base_params: SimulationParams = field(default_factory=SimulationParams)
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    include_baseline: bool = True
+    replicates: int = 1
+
+    def validate(self) -> None:
+        """Fail fast on unknown axes, workloads, or mitigation names."""
+        if not self.workloads:
+            raise ValueError("an experiment needs at least one workload")
+        if self.replicates < 1:
+            raise ValueError("replicates must be at least 1")
+        for axis in self.grid:
+            if axis not in _PARAM_FIELDS:
+                raise ValueError(
+                    f"unknown grid axis {axis!r}; "
+                    f"SimulationParams fields: {_PARAM_FIELDS}"
+                )
+            if not self.grid[axis]:
+                raise ValueError(f"grid axis {axis!r} has no values")
+        for workload in self.workloads:
+            resolve_workload(workload)
+        for name in self.mitigations:
+            MITIGATIONS.get(name)  # raises ValueError on unknown names
+
+    def workload_names(self) -> List[str]:
+        return [resolve_workload(w).name for w in self.workloads]
+
+    def _workload_entries(self) -> List[Tuple[str, Optional[WorkloadSpec]]]:
+        """(name, carried ad-hoc spec) per workload; specs passed as
+        objects ride along so they need not be in the named suite."""
+        return [
+            (
+                resolve_workload(w).name,
+                w if isinstance(w, WorkloadSpec) else None,
+            )
+            for w in self.workloads
+        ]
+
+    def mitigation_names(self) -> List[str]:
+        """Non-baseline mitigations, deduplicated, in declaration order."""
+        ordered = dict.fromkeys(self.mitigations)
+        ordered.pop(BASELINE, None)
+        return list(ordered)
+
+    def param_grid(self) -> List[SimulationParams]:
+        """The expanded parameter combinations (one per grid point)."""
+        axes = list(self.grid.items())
+        combos: List[SimulationParams] = []
+        for values in itertools.product(*(vals for _, vals in axes)):
+            overrides = {name: value for (name, _), value in zip(axes, values)}
+            combos.append(replace(self.base_params, **overrides))
+        if self.replicates > 1:
+            combos = [
+                replace(params, seed=params.seed + r)
+                for params in combos
+                for r in range(self.replicates)
+            ]
+        return combos
+
+    def cells(self) -> List[ExperimentCell]:
+        """Mitigation cells of the grid (baselines are planned by the
+        engine, which deduplicates them — see :func:`plan_cells`)."""
+        self.validate()
+        return [
+            ExperimentCell(workload, mitigation, params, spec)
+            for workload, spec in self._workload_entries()
+            for mitigation in self.mitigation_names()
+            for params in self.param_grid()
+        ]
+
+    def baseline_cells(self) -> List[ExperimentCell]:
+        """One baseline cell per (workload, baseline-relevant params).
+
+        Derived from the workloads and grid directly — not from the
+        mitigation cells — so a baseline-only experiment still runs.
+        """
+        self.validate()
+        baselines: Dict[Tuple[str, SimulationParams], ExperimentCell] = {}
+        for workload, spec in self._workload_entries():
+            for params in self.param_grid():
+                key = (workload, baseline_view(params))
+                if key not in baselines:
+                    baselines[key] = ExperimentCell(
+                        workload, BASELINE, key[1], spec
+                    )
+        return list(baselines.values())
+
+
+def plan_cells(spec: ExperimentSpec) -> List[ExperimentCell]:
+    """The engine's job list: deduplicated baselines plus mitigation cells.
+
+    Baselines are keyed on ``(workload, baseline_view(params))`` so a
+    TRH (or swap-rate, or tracker) sweep runs its baseline exactly once
+    per workload.
+    """
+    cells = spec.cells()
+    if not (spec.include_baseline or BASELINE in spec.mitigations):
+        return cells
+    return spec.baseline_cells() + cells
+
+
+def _simulate_cell(cell: ExperimentCell) -> SimulationResult:
+    """Run one cell (module-level so process pools can pickle it)."""
+    workload = cell.workload_spec or resolve_workload(cell.workload)
+    return PerformanceSimulation(workload, cell.mitigation, cell.params).run()
+
+
+def run_grid(
+    spec: ExperimentSpec,
+    max_workers: Optional[int] = None,
+    progress: Optional[Callable[[int, int, SimulationResult], None]] = None,
+) -> "ResultSet":
+    """Execute an experiment grid, in parallel when it pays.
+
+    Args:
+        spec: The experiment to run.
+        max_workers: Process count; ``None`` uses the machine's CPU
+            count (capped at the job count), ``1`` forces serial
+            in-process execution.
+        progress: Optional ``(done, total, result)`` callback, invoked
+            in submission order as results arrive.
+
+    Results are deterministic: each cell derives every RNG stream from
+    its own parameters, so scheduling order cannot leak into numbers.
+    """
+    jobs = plan_cells(spec)
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    max_workers = max(1, min(max_workers, len(jobs)))
+
+    results: List[SimulationResult] = []
+    if max_workers == 1:
+        for index, cell in enumerate(jobs):
+            result = _simulate_cell(cell)
+            results.append(result)
+            if progress is not None:
+                progress(index + 1, len(jobs), result)
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            for index, result in enumerate(pool.map(_simulate_cell, jobs)):
+                results.append(result)
+                if progress is not None:
+                    progress(index + 1, len(jobs), result)
+    return ResultSet(results)
+
+
+# ----------------------------------------------------------------------
+# result sets
+
+
+def _params_to_dict(params: SimulationParams) -> Dict[str, Any]:
+    out = {name: getattr(params, name) for name in _PARAM_FIELDS}
+    out["policy"] = params.policy.value
+    return out
+
+
+def _params_from_dict(data: Mapping[str, Any]) -> SimulationParams:
+    kwargs = {name: data[name] for name in _PARAM_FIELDS if name in data}
+    if "policy" in kwargs:
+        kwargs["policy"] = PagePolicy(kwargs["policy"])
+    return SimulationParams(**kwargs)
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """JSON-ready dictionary for one :class:`SimulationResult`."""
+    return {
+        "workload": result.workload,
+        "suite": result.suite,
+        "mitigation": result.mitigation,
+        "trh": result.trh,
+        "swap_rate": result.swap_rate,
+        "tracker": result.tracker,
+        "swaps": result.swaps,
+        "place_backs": result.place_backs,
+        "pins": result.pins,
+        "mitigation_busy_ns": result.mitigation_busy_ns,
+        "max_row_activations": result.max_row_activations,
+        "llc_pin_hits": result.llc_pin_hits,
+        "cores": [vars(core).copy() for core in result.cores],
+        "params": _params_to_dict(result.params) if result.params else None,
+    }
+
+
+def result_from_dict(data: Mapping[str, Any]) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`."""
+    payload = dict(data)
+    cores = [CoreResult(**core) for core in payload.pop("cores", [])]
+    params = payload.pop("params", None)
+    return SimulationResult(
+        cores=cores,
+        params=_params_from_dict(params) if params else None,
+        **payload,
+    )
+
+
+class ResultSet:
+    """An ordered collection of simulation results with analysis helpers.
+
+    The set pairs every mitigation result with its baseline (same
+    workload, same baseline-relevant parameters) for normalization, and
+    offers the filtering/aggregation/export operations the benchmarks
+    and the CLI are built from.
+    """
+
+    def __init__(self, results: Sequence[SimulationResult]):
+        self.results = list(results)
+
+    # -- collection protocol ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[SimulationResult]:
+        return iter(self.results)
+
+    def extend(self, other: "ResultSet") -> "ResultSet":
+        """A new set holding both collections' results."""
+        return ResultSet(self.results + other.results)
+
+    # -- filtering ----------------------------------------------------
+
+    def filter(
+        self,
+        workload: Optional[str] = None,
+        mitigation: Optional[str] = None,
+        suite: Optional[str] = None,
+        trh: Optional[int] = None,
+        tracker: Optional[str] = None,
+        where: Optional[Callable[[SimulationResult], bool]] = None,
+    ) -> "ResultSet":
+        """Subset by exact field values (baselines are always retained so
+        normalization keeps working on the filtered set)."""
+
+        def keep(result: SimulationResult) -> bool:
+            if result.mitigation == BASELINE:
+                return workload in (None, result.workload) and suite in (
+                    None,
+                    result.suite,
+                )
+            return (
+                workload in (None, result.workload)
+                and mitigation in (None, result.mitigation)
+                and suite in (None, result.suite)
+                and trh in (None, result.trh)
+                and tracker in (None, result.tracker)
+                and (where is None or where(result))
+            )
+
+        return ResultSet([r for r in self.results if keep(r)])
+
+    @property
+    def workloads(self) -> List[str]:
+        return list(dict.fromkeys(r.workload for r in self.results))
+
+    @property
+    def mitigations(self) -> List[str]:
+        """Non-baseline mitigation names present, first-seen order."""
+        return list(
+            dict.fromkeys(
+                r.mitigation for r in self.results if r.mitigation != BASELINE
+            )
+        )
+
+    @property
+    def trh_values(self) -> List[int]:
+        return sorted(
+            {r.trh for r in self.results if r.mitigation != BASELINE},
+            reverse=True,
+        )
+
+    # -- normalization ------------------------------------------------
+
+    def baseline_for(self, result: SimulationResult) -> SimulationResult:
+        """The baseline run matching ``result``'s workload and parameters."""
+        want = baseline_view(result.params) if result.params else None
+        fallback = None
+        for candidate in self.results:
+            if candidate.mitigation != BASELINE:
+                continue
+            if candidate.workload != result.workload:
+                continue
+            if want is None or candidate.params is None:
+                fallback = fallback or candidate
+            elif baseline_view(candidate.params) == want:
+                return candidate
+        if fallback is not None:
+            return fallback
+        raise LookupError(
+            f"no baseline result for workload {result.workload!r}; "
+            "run the grid with include_baseline=True"
+        )
+
+    def normalized(self, result: SimulationResult) -> float:
+        """Performance of ``result`` relative to its matching baseline."""
+        return normalized_performance(self.baseline_for(result), result)
+
+    def normalized_table(self) -> Dict[str, Dict[str, float]]:
+        """``{workload: {mitigation: normalized performance}}``.
+
+        Requires one grid point per (workload, mitigation) pair — filter
+        down (for example ``.filter(trh=1200)``) when a sweep holds
+        several.
+        """
+        table: Dict[str, Dict[str, float]] = {}
+        for result in self.results:
+            if result.mitigation == BASELINE:
+                table.setdefault(result.workload, {})
+                continue
+            row = table.setdefault(result.workload, {})
+            if result.mitigation in row:
+                raise ValueError(
+                    f"multiple grid points for ({result.workload!r}, "
+                    f"{result.mitigation!r}); filter() down to one first"
+                )
+            row[result.mitigation] = self.normalized(result)
+        return table
+
+    def sweep(self, workload: str, mitigation: str) -> Dict[int, float]:
+        """``{trh: normalized performance}`` for one workload+mitigation."""
+        out: Dict[int, float] = {}
+        for result in self.results:
+            if result.workload == workload and result.mitigation == mitigation:
+                out[result.trh] = self.normalized(result)
+        return out
+
+    def suite_geomeans(self) -> Dict[str, Dict[str, float]]:
+        """Per-suite geometric means of normalized performance, plus an
+        ``ALL`` row aggregating every workload."""
+        buckets: Dict[str, Dict[str, List[float]]] = {}
+        for result in self.results:
+            if result.mitigation == BASELINE:
+                continue
+            value = self.normalized(result)
+            for suite in (result.suite, "ALL"):
+                buckets.setdefault(suite, {}).setdefault(
+                    result.mitigation, []
+                ).append(value)
+        return {
+            suite: {m: geometric_mean(vals) for m, vals in row.items()}
+            for suite, row in buckets.items()
+        }
+
+    def geomean(self, mitigation: str) -> float:
+        """Cross-workload geometric mean for one mitigation."""
+        values = [
+            self.normalized(r) for r in self.results if r.mitigation == mitigation
+        ]
+        return geometric_mean(values)
+
+    # -- export -------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize every result (including parameter records)."""
+        return json.dumps(
+            {"results": [result_to_dict(r) for r in self.results]}, indent=2
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        data = json.loads(text)
+        return cls([result_from_dict(r) for r in data["results"]])
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "ResultSet":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def to_csv(self) -> str:
+        """Flat CSV: one row per result, with normalized performance
+        where a matching baseline exists."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            [
+                "workload", "suite", "mitigation", "trh", "swap_rate",
+                "tracker", "seed", "num_cores", "requests_per_core",
+                "time_scale", "sum_ipc", "normalized_perf", "swaps",
+                "place_backs", "pins", "max_row_activations", "llc_pin_hits",
+            ]
+        )
+        for result in self.results:
+            if result.mitigation == BASELINE:
+                normalized: Any = 1.0
+            else:
+                try:
+                    normalized = self.normalized(result)
+                except LookupError:
+                    normalized = ""
+            params = result.params
+            writer.writerow(
+                [
+                    result.workload, result.suite, result.mitigation,
+                    result.trh, result.swap_rate, result.tracker,
+                    params.seed if params else "",
+                    params.num_cores if params else "",
+                    params.requests_per_core if params else "",
+                    params.time_scale if params else "",
+                    f"{result.sum_ipc:.6f}",
+                    f"{normalized:.6f}" if normalized != "" else "",
+                    result.swaps, result.place_backs, result.pins,
+                    result.max_row_activations, result.llc_pin_hits,
+                ]
+            )
+        return buffer.getvalue()

@@ -1,30 +1,35 @@
-"""Builders wiring trackers and mitigation engines onto banks."""
+"""Builders wiring trackers and mitigation engines onto banks.
+
+Both builders are registry-driven: mitigation designs and trackers
+declare themselves with :func:`repro.registry.register_mitigation` /
+:func:`repro.registry.register_tracker`, and this module only resolves
+names and assembles the per-bank plumbing (RNG streams, tracker sizing,
+the shared pin-buffer). ``MITIGATION_NAMES`` / ``TRACKER_NAMES`` /
+``DEFAULT_SWAP_RATES`` remain as import-time snapshots for legacy
+callers; new code should consult the registry directly.
+"""
 
 from __future__ import annotations
 
 import random
 from typing import Callable, Optional
 
-from repro.core.mitigation import BaselineMitigation, Mitigation
+from repro.core.mitigation import Mitigation
 from repro.core.pin_buffer import PinBuffer
-from repro.core.rrs import RandomizedRowSwap
-from repro.core.scale_srs import ScaleSecureRowSwap
-from repro.core.srs import SecureRowSwap
 from repro.dram.bank import Bank
 from repro.dram.config import DRAMTiming
-from repro.trackers.base import ExactTracker, Tracker
-from repro.trackers.hydra import HydraConfig, HydraTracker
-from repro.trackers.misra_gries import MisraGriesTracker
+from repro.registry import (
+    MITIGATIONS,
+    TRACKERS,
+    MitigationBuildContext,
+    default_swap_rates,
+)
+from repro.trackers.base import Tracker
 
-MITIGATION_NAMES = ("baseline", "rrs", "rrs-no-unswap", "srs", "scale-srs")
-TRACKER_NAMES = ("misra-gries", "hydra", "exact")
+MITIGATION_NAMES = MITIGATIONS.names()
+TRACKER_NAMES = TRACKERS.names()
 
-DEFAULT_SWAP_RATES = {
-    "rrs": 6.0,
-    "rrs-no-unswap": 6.0,
-    "srs": 6.0,
-    "scale-srs": 3.0,
-}
+DEFAULT_SWAP_RATES = default_swap_rates()
 
 
 def swap_threshold(trh: int, swap_rate: float) -> int:
@@ -37,17 +42,8 @@ def make_tracker(
     ts: int,
     timing: DRAMTiming,
 ) -> Tracker:
-    """Build a tracker sized for ``TS`` under the given timing."""
-    if name == "misra-gries":
-        entries = MisraGriesTracker.required_entries(
-            timing.max_activations_per_window, ts
-        )
-        return MisraGriesTracker(ts, max(4, entries))
-    if name == "hydra":
-        return HydraTracker(ts, HydraConfig())
-    if name == "exact":
-        return ExactTracker(ts)
-    raise ValueError(f"unknown tracker {name!r}; options: {TRACKER_NAMES}")
+    """Build a registered tracker sized for ``TS`` under the given timing."""
+    return TRACKERS.get(name).builder(ts, timing)
 
 
 def make_mitigation_factory(
@@ -63,43 +59,39 @@ def make_mitigation_factory(
     """Factory of per-bank mitigation engines for :class:`MemorySystem`.
 
     Args:
-        name: One of ``MITIGATION_NAMES``.
+        name: A registered mitigation name (see ``MITIGATIONS.names()``).
         trh: Row Hammer threshold (in the timing's window units).
         timing: DRAM timing (drives tracker and RIT sizing).
-        swap_rate: ``TRH / TS``; defaults to 6 (RRS/SRS) or 3 (Scale-SRS).
+        swap_rate: ``TRH / TS``; defaults to the design's registered rate
+            (6 for RRS/SRS, 3 for Scale-SRS). Designs without a swap rate
+            trigger their tracker at ``TRH`` directly.
         tracker: Tracker type per bank.
         seed: Base RNG seed; each bank derives its own stream.
         pin_buffer: Shared pin-buffer for Scale-SRS (created if absent).
         keep_events: Retain per-event mitigation logs (tests only).
     """
-    if name not in MITIGATION_NAMES:
-        raise ValueError(f"unknown mitigation {name!r}; options: {MITIGATION_NAMES}")
-    if name == "baseline":
-        return lambda bank, key: BaselineMitigation(bank)
+    info = MITIGATIONS.get(name)
 
-    rate = swap_rate if swap_rate is not None else DEFAULT_SWAP_RATES[name]
-    ts = swap_threshold(trh, rate)
+    rate = swap_rate if swap_rate is not None else info.default_swap_rate
+    ts = swap_threshold(trh, rate) if rate else trh
     # `is not None` matters: an empty PinBuffer is falsy (len == 0).
     shared_pins = pin_buffer if pin_buffer is not None else PinBuffer()
 
     def factory(bank: Bank, bank_key: tuple) -> Mitigation:
         rng = random.Random((seed << 16) ^ hash(bank_key))
-        bank_tracker = make_tracker(tracker, ts, bank.timing)
-        if name == "rrs":
-            return RandomizedRowSwap(bank, bank_tracker, rng, keep_events=keep_events)
-        if name == "rrs-no-unswap":
-            return RandomizedRowSwap(
-                bank, bank_tracker, rng, immediate_unswap=False, keep_events=keep_events
-            )
-        if name == "srs":
-            return SecureRowSwap(bank, bank_tracker, rng, keep_events=keep_events)
-        return ScaleSecureRowSwap(
-            bank,
-            bank_tracker,
-            rng,
-            pin_buffer=shared_pins,
+        bank_tracker = (
+            make_tracker(tracker, ts, bank.timing) if info.uses_tracker else None
+        )
+        context = MitigationBuildContext(
+            bank=bank,
             bank_key=bank_key,
+            trh=trh,
+            swap_threshold=ts,
+            tracker=bank_tracker,
+            rng=rng,
+            pin_buffer=shared_pins,
             keep_events=keep_events,
         )
+        return info.builder(context)
 
     return factory

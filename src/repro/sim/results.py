@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.cpu.core import CoreResult
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.sim.simulator
+    from repro.sim.simulator import SimulationParams
 
 
 @dataclass
@@ -26,6 +29,9 @@ class SimulationResult:
     mitigation_busy_ns: float = 0.0
     max_row_activations: int = 0
     llc_pin_hits: int = 0
+    # Full parameter record of the run (set by PerformanceSimulation);
+    # the experiment layer uses it to pair results with their baselines.
+    params: Optional["SimulationParams"] = None
 
     @property
     def sum_ipc(self) -> float:

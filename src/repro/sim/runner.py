@@ -1,69 +1,89 @@
-"""Experiment runner: workload lookup, comparisons, and threshold sweeps."""
+"""Legacy experiment helpers (deprecated shims).
+
+Everything here predates the declarative Experiment API and survives as
+a thin compatibility layer over :mod:`repro.sim.experiment`:
+
+- :func:`run_workload`  -> one :class:`ExperimentCell` simulation.
+- :func:`compare_mitigations` -> a one-workload :class:`ExperimentSpec`.
+- :func:`normalized_table` / :func:`sweep_trh` -> grid runs with
+  baseline deduplication.
+- :func:`suite_geomeans` -> plain-table aggregation (kept for callers
+  holding ``{workload: {mitigation: value}}`` dictionaries; prefer
+  :meth:`ResultSet.suite_geomeans`).
+
+New code should declare an :class:`~repro.sim.experiment.ExperimentSpec`
+and call :func:`~repro.sim.experiment.run_grid`, which parallelizes and
+deduplicates baselines.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.sim.results import (
-    SimulationResult,
-    geometric_mean,
-    normalized_performance,
+from repro.sim.experiment import (
+    BASELINE,
+    ExperimentSpec,
+    WorkloadLike,
+    resolve_workload,
+    run_grid,
 )
+from repro.sim.results import SimulationResult, geometric_mean
 from repro.sim.simulator import PerformanceSimulation, SimulationParams
-from repro.workloads.suites import ALL_WORKLOADS, WorkloadSpec
+from repro.workloads.suites import ALL_WORKLOADS
 
-WorkloadLike = Union[str, WorkloadSpec]
-
-
-def _resolve(workload: WorkloadLike) -> WorkloadSpec:
-    if isinstance(workload, WorkloadSpec):
-        return workload
-    for spec in ALL_WORKLOADS:
-        if spec.name == workload:
-            return spec
-    raise KeyError(f"unknown workload {workload!r}")
+_resolve = resolve_workload  # legacy private alias
 
 
 def run_workload(
     workload: WorkloadLike,
     mitigation: str,
-    params: SimulationParams = None,
+    params: Optional[SimulationParams] = None,
 ) -> SimulationResult:
-    """Simulate one workload under one mitigation."""
-    return PerformanceSimulation(_resolve(workload), mitigation, params).run()
+    """Simulate one workload under one mitigation.
+
+    Deprecated: equivalent to running a single :class:`ExperimentCell`.
+    Still accepts ad-hoc :class:`WorkloadSpec` objects that are not part
+    of the named suite (the grid engine requires named workloads).
+    """
+    spec = resolve_workload(workload)
+    return PerformanceSimulation(spec, mitigation, params or SimulationParams()).run()
 
 
 def compare_mitigations(
     workload: WorkloadLike,
     mitigations: Sequence[str],
-    params: SimulationParams = None,
+    params: Optional[SimulationParams] = None,
 ) -> Dict[str, SimulationResult]:
     """Run several mitigations (always including the baseline) on one
-    workload with identical traces; returns results keyed by name."""
-    spec = _resolve(workload)
-    names = list(dict.fromkeys(["baseline", *mitigations]))
+    workload with identical traces; returns results keyed by name.
+
+    Deprecated: declare an :class:`ExperimentSpec` and use
+    :func:`run_grid` for anything beyond a single point.
+    """
+    spec = resolve_workload(workload)
+    names = list(dict.fromkeys([BASELINE, *mitigations]))
     return {name: run_workload(spec, name, params) for name in names}
 
 
 def normalized_table(
     workloads: Iterable[WorkloadLike],
     mitigations: Sequence[str],
-    params: SimulationParams = None,
+    params: Optional[SimulationParams] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Normalized performance for each workload x mitigation.
 
     Returns ``{workload: {mitigation: normalized_perf}}``.
+
+    Deprecated: runs through the grid engine (serially, for bitwise
+    compatibility with historic call sites); use :func:`run_grid` and
+    :meth:`ResultSet.normalized_table` to parallelize.
     """
-    table: Dict[str, Dict[str, float]] = {}
-    for workload in workloads:
-        results = compare_mitigations(workload, mitigations, params)
-        base = results["baseline"]
-        table[_resolve(workload).name] = {
-            name: normalized_performance(base, result)
-            for name, result in results.items()
-            if name != "baseline"
-        }
-    return table
+    spec = ExperimentSpec(
+        workloads=list(workloads),
+        mitigations=list(mitigations),
+        base_params=params or SimulationParams(),
+    )
+    return run_grid(spec, max_workers=1).normalized_table()
 
 
 def suite_geomeans(
@@ -88,23 +108,19 @@ def sweep_trh(
     workload: WorkloadLike,
     mitigation: str,
     trh_values: Sequence[int],
-    params: SimulationParams = None,
+    params: Optional[SimulationParams] = None,
 ) -> Dict[int, float]:
-    """Normalized performance of ``mitigation`` across TRH values."""
-    base_params = params or SimulationParams()
-    out: Dict[int, float] = {}
-    for trh in trh_values:
-        run_params = SimulationParams(
-            trh=trh,
-            swap_rate=base_params.swap_rate,
-            tracker=base_params.tracker,
-            num_cores=base_params.num_cores,
-            requests_per_core=base_params.requests_per_core,
-            time_scale=base_params.time_scale,
-            seed=base_params.seed,
-            policy=base_params.policy,
-            rows_per_bank=base_params.rows_per_bank,
-        )
-        results = compare_mitigations(workload, [mitigation], run_params)
-        out[trh] = normalized_performance(results["baseline"], results[mitigation])
-    return out
+    """Normalized performance of ``mitigation`` across TRH values.
+
+    Deprecated: a one-axis grid. The engine's baseline deduplication
+    runs the baseline once for the whole sweep (the old implementation
+    re-simulated it at every threshold).
+    """
+    spec = ExperimentSpec(
+        workloads=[workload],
+        mitigations=[mitigation],
+        base_params=params or SimulationParams(),
+        grid={"trh": list(trh_values)},
+    )
+    results = run_grid(spec, max_workers=1)
+    return results.sweep(resolve_workload(workload).name, mitigation)

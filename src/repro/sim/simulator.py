@@ -17,12 +17,12 @@ from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from repro.controller.memory_system import MemorySystem
-from repro.core.mitigation import MitigationKind
 from repro.core.pin_buffer import PinBuffer
 from repro.cpu.core import TraceCore
 from repro.dram.commands import PagePolicy
 from repro.dram.config import DRAMOrganization, DRAMTiming, SystemConfig
-from repro.sim.factory import DEFAULT_SWAP_RATES, make_mitigation_factory
+from repro.registry import MITIGATIONS
+from repro.sim.factory import make_mitigation_factory
 from repro.sim.results import SimulationResult
 from repro.workloads.suites import WorkloadSpec
 from repro.workloads.synthetic import SyntheticTraceGenerator
@@ -58,7 +58,7 @@ class SimulationParams:
     policy: PagePolicy = PagePolicy.CLOSED
     rows_per_bank: Optional[int] = None
 
-    def scaled_timing(self, base: DRAMTiming = None) -> DRAMTiming:
+    def scaled_timing(self, base: Optional[DRAMTiming] = None) -> DRAMTiming:
         """Timing with the window *and* the mitigation latencies divided by
         ``time_scale``.
 
@@ -95,7 +95,7 @@ class PerformanceSimulation:
         self,
         workload: WorkloadSpec,
         mitigation: str,
-        params: SimulationParams = None,
+        params: Optional[SimulationParams] = None,
     ):
         self.workload = workload
         self.mitigation_name = mitigation
@@ -110,8 +110,8 @@ class PerformanceSimulation:
             timing=timing, organization=organization, num_cores=params.num_cores
         )
         swap_rate = params.swap_rate
-        if swap_rate is None and mitigation != "baseline":
-            swap_rate = DEFAULT_SWAP_RATES[mitigation]
+        if swap_rate is None:
+            swap_rate = MITIGATIONS.get(mitigation).default_swap_rate
         self.swap_rate = swap_rate or 0.0
         self.pin_buffer = PinBuffer()
         factory = make_mitigation_factory(
@@ -194,5 +194,6 @@ class PerformanceSimulation:
             mitigation_busy_ns=memory.total_mitigation_busy_ns(),
             max_row_activations=memory.max_row_activations(),
             llc_pin_hits=memory.llc_hits_from_pins,
+            params=params,
         )
         return result

@@ -5,13 +5,20 @@ mitigation engine when a row crosses the swap threshold ``TS``. The paper
 evaluates its mitigations with the Misra-Gries tracker (as used by RRS and
 Graphene) and with Hydra; an exact per-row tracker is provided as a
 validation reference.
+
+Trackers self-register with :func:`repro.registry.register_tracker`;
+importing this package populates the registry that sizes and builds
+per-bank trackers for the simulator and the CLI.
 """
 
+from repro.registry import TRACKERS, register_tracker
 from repro.trackers.base import Tracker, TrackerObservation, ExactTracker
 from repro.trackers.misra_gries import MisraGriesTracker
 from repro.trackers.hydra import HydraTracker, HydraConfig
 
 __all__ = [
+    "TRACKERS",
+    "register_tracker",
     "Tracker",
     "TrackerObservation",
     "ExactTracker",

@@ -6,6 +6,8 @@ import abc
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.registry import register_tracker
+
 
 @dataclass(slots=True)
 class TrackerObservation:
@@ -60,6 +62,11 @@ class Tracker(abc.ABC):
         return observation
 
 
+@register_tracker(
+    "exact",
+    description="idealised per-row counters (ground truth; not buildable)",
+    builder=lambda threshold, timing: ExactTracker(threshold),
+)
 class ExactTracker(Tracker):
     """Idealised tracker holding one counter per row.
 

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
+from repro.registry import register_tracker
 from repro.trackers.base import Tracker, TrackerObservation
 
 
@@ -43,6 +44,11 @@ class HydraConfig:
     group_threshold_floor: int = 64
 
 
+@register_tracker(
+    "hydra",
+    description="Hydra group/row hybrid with a DRAM-backed counter cache",
+    builder=lambda threshold, timing: HydraTracker(threshold, HydraConfig()),
+)
 class HydraTracker(Tracker):
     """Two-level group/row tracker with a counter cache.
 
@@ -51,7 +57,7 @@ class HydraTracker(Tracker):
     row's estimate is always at least its true count.
     """
 
-    def __init__(self, threshold: int, config: HydraConfig = None):
+    def __init__(self, threshold: int, config: Optional[HydraConfig] = None):
         super().__init__(threshold)
         self.config = config or HydraConfig()
         if not 0 < self.config.group_threshold_fraction <= 1:

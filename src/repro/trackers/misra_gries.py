@@ -30,9 +30,23 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
+from repro.registry import register_tracker
 from repro.trackers.base import Tracker, TrackerObservation
 
 
+@register_tracker(
+    "misra-gries",
+    description="Misra-Gries summary sized from ACT_max/TS (Graphene, RRS)",
+    builder=lambda threshold, timing: MisraGriesTracker(
+        threshold,
+        max(
+            4,
+            MisraGriesTracker.required_entries(
+                timing.max_activations_per_window, threshold
+            ),
+        ),
+    ),
+)
 class MisraGriesTracker(Tracker):
     """Misra-Gries summary with a spillover counter.
 

@@ -16,6 +16,8 @@ import random
 
 import pytest
 
+pytestmark = pytest.mark.slow  # live attacker simulations
+
 from repro.attacks.juggernaut import JuggernautAttacker
 from repro.core.rrs import RandomizedRowSwap
 from repro.core.scale_srs import ScaleSecureRowSwap

@@ -4,6 +4,8 @@ import math
 
 import pytest
 
+pytestmark = pytest.mark.slow  # Monte-Carlo runs, seconds per test
+
 from repro.attacks.analytical import AttackParameters, JuggernautModel
 from repro.attacks.juggernaut import (
     multi_bank_time_to_break_days,

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.registry import MITIGATIONS, TRACKERS
 
 
 class TestParser:
@@ -14,7 +15,10 @@ class TestParser:
         parser = build_parser()
         for command in (
             ["list-workloads"],
+            ["list-mitigations"],
             ["run", "gcc"],
+            ["sweep", "gcc"],
+            ["grid"],
             ["attack"],
             ["security-sweep"],
             ["outliers"],
@@ -23,6 +27,22 @@ class TestParser:
         ):
             args = parser.parse_args(command)
             assert callable(args.func)
+
+    def test_mitigation_choices_derived_from_registry(self):
+        parser = build_parser()
+        for name in MITIGATIONS.names():
+            if name == "baseline":
+                continue  # always included implicitly
+            args = parser.parse_args(["run", "gcc", "--mitigations", name])
+            assert args.mitigations == [name]
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "gcc", "--mitigations", "unregistered"])
+
+    def test_tracker_choices_derived_from_registry(self):
+        parser = build_parser()
+        for name in TRACKERS.names():
+            args = parser.parse_args(["grid", "--tracker", name])
+            assert args.tracker == name
 
 
 class TestCommands:
@@ -78,3 +98,35 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "baseline" in out and "rrs" in out
+
+    def test_list_mitigations(self, capsys):
+        assert main(["list-mitigations"]) == 0
+        out = capsys.readouterr().out
+        for name in ("baseline", "rrs", "scale-srs", "misra-gries", "hydra"):
+            assert name in out
+
+    def test_sweep_small(self, capsys):
+        code = main([
+            "sweep", "povray", "--trh", "2400", "1200", "--cores", "1",
+            "--requests", "2000", "--mitigations", "rrs", "--jobs", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2400" in out and "1200" in out and "rrs" in out
+
+    def test_grid_small_with_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "grid.csv"
+        json_path = tmp_path / "grid.json"
+        code = main([
+            "grid", "--workloads", "povray", "lbm", "--trh", "1200",
+            "--cores", "1", "--requests", "2000", "--mitigations", "rrs",
+            "--jobs", "1", "--csv", str(csv_path), "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TRH = 1200" in out and "GEOMEAN" in out
+        assert "povray" in out and "lbm" in out
+        assert csv_path.exists() and json_path.exists()
+        from repro.sim import ResultSet
+        reloaded = ResultSet.load(str(json_path))
+        assert set(reloaded.workloads) == {"povray", "lbm"}

@@ -8,6 +8,8 @@ assembled (tracker + RIT + engine + bank + memory system).
 
 import pytest
 
+pytestmark = pytest.mark.slow  # full-stack simulations, seconds per test
+
 from repro.sim.results import normalized_performance
 from repro.sim.runner import compare_mitigations, run_workload
 from repro.sim.simulator import PerformanceSimulation, SimulationParams

@@ -5,6 +5,8 @@ import random
 
 import pytest
 
+pytestmark = pytest.mark.slow  # disturbance-model simulations, seconds per test
+
 from repro.attacks.harness import hammer_pattern
 from repro.attacks.patterns import double_sided, half_double
 from repro.core.aqua import AquaQuarantine, QuarantineFullError
