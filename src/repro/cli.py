@@ -8,6 +8,9 @@ Commands:
 - ``sweep`` — normalized performance across TRH values (parallel).
 - ``grid`` — a workloads x mitigations x TRH grid through the parallel
   experiment engine, with optional CSV/JSON export.
+- ``trace record`` — dump a workload's per-core access streams to
+  replayable USIMM trace files.
+- ``trace info`` — summary statistics of a trace file or directory.
 - ``attack`` — the Juggernaut analytical model at a design point.
 - ``security-sweep`` — time-to-break RRS/SRS across swap rates.
 - ``outliers`` — the Figure 13 outlier-appearance model.
@@ -16,12 +19,14 @@ Commands:
 
 Mitigation and tracker choices are generated from
 :mod:`repro.registry`, so a newly registered design shows up here with
-no CLI change.
+no CLI change. Workload arguments accept both suite names (``gcc``)
+and workload-source strings (``trace:/path/to/run``) everywhere.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -29,8 +34,13 @@ from repro.analysis.power import PowerModel
 from repro.analysis.storage import StorageModel
 from repro.attacks.analytical import AttackParameters, JuggernautModel, srs_parameters
 from repro.attacks.outliers import OutlierModel
+from repro.dram.address import AddressMapper
+from repro.dram.config import DRAMOrganization
 from repro.registry import MITIGATIONS, TRACKERS
-from repro.sim import ExperimentSpec, SimulationParams, run_grid
+from repro.sim import ExperimentSpec, SimulationParams, record_workload, run_grid
+from repro.sim.experiment import resolve_workload
+from repro.workloads.columnar import ColumnarTrace
+from repro.workloads.sources import TraceWorkload
 from repro.workloads.suites import ALL_WORKLOADS, PROFILES
 
 
@@ -142,6 +152,42 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    workload = resolve_workload(args.workload)
+    params = SimulationParams(
+        num_cores=args.cores, requests_per_core=args.requests, seed=args.seed
+    )
+    paths = record_workload(
+        workload, params, out_dir=args.out, compress=args.gzip
+    )
+    for path in paths:
+        print(f"wrote {path}")
+    print(
+        f"replay with: python -m repro grid --workloads trace:{args.out} "
+        f"--cores {args.cores} --requests {args.requests}"
+    )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    workload = TraceWorkload(path=args.path)
+    mapper = AddressMapper(DRAMOrganization())
+    print(f"{'file':<28s}{'records':>9s}{'instrs':>12s}{'mpki':>8s}"
+          f"{'writes':>8s}{'rows':>8s}")
+    totals = [0, 0]
+    for file_path in workload.core_files():
+        gaps, is_write, addresses = workload.columns_for_file(file_path)
+        arrays = ColumnarTrace.from_addresses(gaps, is_write, addresses, mapper)
+        records = len(arrays)
+        print(f"{os.path.basename(file_path):<28s}{records:>9d}"
+              f"{arrays.total_instructions:>12d}{arrays.mpki:>8.2f}"
+              f"{arrays.write_fraction:>8.3f}{arrays.row_footprint():>8d}")
+        totals[0] += records
+        totals[1] += arrays.total_instructions
+    print(f"{'TOTAL':<28s}{totals[0]:>9d}{totals[1]:>12d}")
+    return 0
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     params = AttackParameters(trh=args.trh, ts=max(2, int(args.trh / args.swap_rate)))
     rrs = JuggernautModel(params).best(step=args.step)
@@ -245,13 +291,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_list_mitigations)
 
     p = sub.add_parser("run", help="performance comparison on one workload")
-    p.add_argument("workload")
+    p.add_argument("workload", help="suite name or trace:<path> replay spec")
     p.add_argument("--trh", type=int, default=1200)
     _add_sim_options(p, mitigation_names, tracker_names, ["rrs", "scale-srs"])
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("sweep", help="TRH sweep on one workload (parallel)")
-    p.add_argument("workload")
+    p.add_argument("workload", help="suite name or trace:<path> replay spec")
     p.add_argument("--trh", type=int, nargs="+", default=[4800, 2400, 1200])
     _add_sim_options(p, mitigation_names, tracker_names, ["rrs", "scale-srs"],
                      default_requests=12_000)
@@ -261,7 +307,9 @@ def build_parser() -> argparse.ArgumentParser:
         "grid",
         help="workloads x mitigations x TRH grid (parallel, deduped baselines)",
     )
-    p.add_argument("--workloads", nargs="+", default=["gcc", "lbm", "povray"])
+    p.add_argument("--workloads", "--workload", nargs="+",
+                   default=["gcc", "lbm", "povray"],
+                   help="suite names and/or trace:<path> replay specs")
     p.add_argument("--trh", type=int, nargs="+", default=[2400, 1200])
     p.add_argument("--csv", help="export the result set as CSV")
     p.add_argument("--json", help="export the result set (with parameters) as JSON")
@@ -269,6 +317,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sim_options(p, mitigation_names, tracker_names, ["rrs", "scale-srs"],
                      default_requests=12_000)
     p.set_defaults(func=_cmd_grid)
+
+    p = sub.add_parser("trace", help="record and inspect USIMM trace files")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+
+    p = trace_sub.add_parser(
+        "record",
+        help="dump a workload's per-core access streams to trace files",
+    )
+    p.add_argument("workload", help="workload to record (name or source spec)")
+    p.add_argument("--out", required=True, help="output directory")
+    p.add_argument("--gzip", action="store_true", help="gzip-compress the files")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--requests", type=int, default=30_000,
+                   help="memory requests per core")
+    p.add_argument("--seed", type=int, default=2024)
+    p.set_defaults(func=_cmd_trace_record)
+
+    p = trace_sub.add_parser(
+        "info", help="summary statistics of a trace file or directory"
+    )
+    p.add_argument("path", help="trace file or per-core trace directory")
+    p.set_defaults(func=_cmd_trace_info)
 
     p = sub.add_parser("attack", help="Juggernaut analytical model")
     p.add_argument("--trh", type=int, default=4800)

@@ -35,10 +35,12 @@ class CacheStats:
 
     @property
     def accesses(self) -> int:
+        """Total lookups (hits plus misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Hits over accesses (0.0 when the cache is untouched)."""
         return self.hits / self.accesses if self.accesses else 0.0
 
 
@@ -74,6 +76,7 @@ class SetAssociativeCache:
 
     @classmethod
     def from_config(cls, config: SystemConfig, pin_buffer: Optional[PinBuffer] = None):
+        """Build an LLC sized from a :class:`SystemConfig`."""
         return cls(
             size_bytes=config.llc_size_bytes,
             ways=config.llc_ways,
@@ -180,8 +183,10 @@ class SetAssociativeCache:
 
     @property
     def pinned_line_count(self) -> int:
+        """Lines currently pinned (protected from eviction)."""
         return len(self._pinned_lines)
 
     def occupancy(self) -> float:
+        """Fraction of cache capacity holding valid lines."""
         used = sum(len(s) for s in self._sets.values())
         return used / (self.num_sets * self.ways)

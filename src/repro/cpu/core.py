@@ -101,6 +101,7 @@ class TraceCore:
         return self.clock_ns
 
     def result(self) -> CoreResult:
+        """Final statistics snapshot (call after :meth:`drain`)."""
         cycles = self.clock_ns / self.cycle_ns
         return CoreResult(
             core_id=self.core_id,

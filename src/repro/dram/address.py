@@ -8,9 +8,11 @@ and the row address occupies the high bits.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.dram.config import DRAMOrganization
 
@@ -103,6 +105,62 @@ class AddressMapper:
         bits = (bits << self._rank_bits) | decoded.rank
         bits = (bits << self._bank_bits) | decoded.bank
         bits = (bits << self._channel_bits) | decoded.channel
+        return bits << self._offset_bits
+
+    def decode_arrays(
+        self, addresses: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`decode` over an int64 address array.
+
+        Returns ``(channel, rank, bank, row, column)`` arrays; the
+        columnar trace path uses this to turn a parsed trace file into
+        simulator coordinates without a per-record Python loop.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size and int(addresses.min()) < 0:
+            raise ValueError("addresses must be non-negative")
+        bits = addresses >> self._offset_bits
+        channel = bits & ((1 << self._channel_bits) - 1)
+        bits >>= self._channel_bits
+        bank = bits & ((1 << self._bank_bits) - 1)
+        bits >>= self._bank_bits
+        rank = bits & ((1 << self._rank_bits) - 1)
+        bits >>= self._rank_bits
+        column = bits & ((1 << self._column_bits) - 1)
+        bits >>= self._column_bits
+        row = bits & ((1 << self._row_bits) - 1)
+        return channel, rank, bank, row, column
+
+    def encode_arrays(
+        self,
+        channel: np.ndarray,
+        rank: np.ndarray,
+        bank: np.ndarray,
+        row: np.ndarray,
+        column: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`encode`; returns an int64 byte-address array.
+
+        Out-of-range coordinates raise ``ValueError`` (as the scalar
+        encoder does) so a trace recorded under one organization cannot
+        silently alias rows under another.
+        """
+        org = self.organization
+        arrays = {
+            "channel": (np.asarray(channel, dtype=np.int64), org.channels),
+            "rank": (np.asarray(rank, dtype=np.int64), org.ranks_per_channel),
+            "bank": (np.asarray(bank, dtype=np.int64), org.banks_per_rank),
+            "row": (np.asarray(row, dtype=np.int64), org.rows_per_bank),
+            "column": (np.asarray(column, dtype=np.int64), org.lines_per_row),
+        }
+        for name, (values, limit) in arrays.items():
+            if values.size and not (0 <= int(values.min()) and int(values.max()) < limit):
+                raise ValueError(f"{name} coordinates out of range [0, {limit})")
+        bits = arrays["row"][0]
+        bits = (bits << self._column_bits) | arrays["column"][0]
+        bits = (bits << self._rank_bits) | arrays["rank"][0]
+        bits = (bits << self._bank_bits) | arrays["bank"][0]
+        bits = (bits << self._channel_bits) | arrays["channel"][0]
         return bits << self._offset_bits
 
     def address_of_row(self, channel: int, rank: int, bank: int, row: int) -> int:

@@ -1,4 +1,4 @@
-"""Central registry of mitigations and trackers.
+"""Central registry of mitigations, trackers, and workload sources.
 
 The simulator, the CLI, and the experiment engine all need to answer the
 same questions — "which mitigations exist?", "what is this design's
@@ -27,10 +27,17 @@ and ``python -m repro run --mitigations my-defence ...`` works with no
 other change (see :mod:`repro.core.aqua` and
 :mod:`repro.core.blockhammer` for real examples).
 
-The registry module itself imports nothing from :mod:`repro.core` or
-:mod:`repro.trackers` — those modules import *it* to self-register.
-Lookup methods lazily import the built-in packages so the registry is
-populated no matter which module is imported first.
+Workload *sources* register the same way: a source owns a prefix
+(``synthetic``, ``trace``) and resolves the remainder of a
+``<prefix>:<spec>`` workload string into a workload object, which is how
+``grid --workloads trace:/path/to/run`` reaches the simulator (see
+:mod:`repro.workloads.sources`).
+
+The registry module itself imports nothing from :mod:`repro.core`,
+:mod:`repro.trackers`, or :mod:`repro.workloads` — those modules import
+*it* to self-register. Lookup methods lazily import the built-in
+packages so the registry is populated no matter which module is imported
+first.
 """
 
 from __future__ import annotations
@@ -89,6 +96,24 @@ class MitigationInfo:
     default_swap_rate: Optional[float] = None
     uses_tracker: bool = True
     is_baseline: bool = False
+
+
+@dataclass(frozen=True)
+class WorkloadSourceInfo:
+    """Registry record for one workload source.
+
+    A workload source turns the text after its prefix in a
+    ``<prefix>:<spec>`` workload string (for example
+    ``trace:/path/to/run``) into a workload object the simulator can
+    drive — anything with ``name``, ``suite``, and
+    ``arrays_for_core(core_id, params, organization)`` returning a
+    :class:`~repro.workloads.columnar.ColumnarTrace`.
+    """
+
+    prefix: str
+    cls: type
+    resolver: Callable[[str], Any]
+    description: str = ""
 
 
 @dataclass(frozen=True)
@@ -172,8 +197,15 @@ def _populate_trackers() -> None:
     import repro.trackers  # noqa: F401  (registers the built-in trackers)
 
 
+def _populate_workload_sources() -> None:
+    import repro.workloads.sources  # noqa: F401  (registers the built-in sources)
+
+
 MITIGATIONS: Registry[MitigationInfo] = Registry("mitigation", _populate_mitigations)
 TRACKERS: Registry[TrackerInfo] = Registry("tracker", _populate_trackers)
+WORKLOAD_SOURCES: Registry[WorkloadSourceInfo] = Registry(
+    "workload source", _populate_workload_sources
+)
 
 
 def register_mitigation(
@@ -240,6 +272,33 @@ def register_tracker(
     return decorate
 
 
+def register_workload_source(
+    prefix: str,
+    *,
+    resolver: Callable[[str], Any],
+    description: str = "",
+) -> Callable[[type], type]:
+    """Class decorator registering a workload source under ``prefix``.
+
+    ``resolver(spec_text)`` receives everything after ``<prefix>:`` in a
+    workload string and must return a workload object exposing ``name``,
+    ``suite``, and ``arrays_for_core(core_id, params, organization)``.
+    Plain (colon-free) workload names resolve through the ``synthetic``
+    source, so registering a new prefix never changes existing names.
+    """
+
+    def decorate(cls: type) -> type:
+        WORKLOAD_SOURCES.add(
+            prefix,
+            WorkloadSourceInfo(
+                prefix=prefix, cls=cls, resolver=resolver, description=description
+            ),
+        )
+        return cls
+
+    return decorate
+
+
 def mitigation_names() -> Tuple[str, ...]:
     """Registered mitigation names, registration order."""
     return MITIGATIONS.names()
@@ -248,6 +307,11 @@ def mitigation_names() -> Tuple[str, ...]:
 def tracker_names() -> Tuple[str, ...]:
     """Registered tracker names, registration order."""
     return TRACKERS.names()
+
+
+def workload_source_names() -> Tuple[str, ...]:
+    """Registered workload-source prefixes, registration order."""
+    return WORKLOAD_SOURCES.names()
 
 
 def default_swap_rates() -> Dict[str, float]:

@@ -11,8 +11,11 @@ The modern entry point is the declarative Experiment API::
     )
     table = run_grid(spec).filter(trh=1200).normalized_table()
 
-The legacy helpers (:func:`run_workload`, :func:`compare_mitigations`,
-:func:`sweep_trh`) remain as deprecated shims over the same engine.
+Workloads may be synthetic names (``"gcc"``) or recorded traces
+(``"trace:/path/to/run"``); :func:`record_workload` dumps any workload's
+per-core streams to replayable USIMM files. The legacy helpers
+(:func:`run_workload`, :func:`compare_mitigations`, :func:`sweep_trh`)
+remain as deprecated shims over the same engine.
 """
 
 from repro.sim.experiment import (
@@ -30,6 +33,7 @@ from repro.sim.factory import (
     make_mitigation_factory,
     make_tracker,
 )
+from repro.sim.recorder import record_workload, write_columnar_trace
 from repro.sim.results import SimulationResult, normalized_performance
 from repro.sim.runner import (
     compare_mitigations,
@@ -52,6 +56,8 @@ __all__ = [
     "make_tracker",
     "MITIGATION_NAMES",
     "TRACKER_NAMES",
+    "record_workload",
+    "write_columnar_trace",
     "SimulationResult",
     "normalized_performance",
     "PerformanceSimulation",

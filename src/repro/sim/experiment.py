@@ -68,9 +68,13 @@ from repro.sim.results import (
     normalized_performance,
 )
 from repro.sim.simulator import PerformanceSimulation, SimulationParams
-from repro.workloads.suites import ALL_WORKLOADS, WorkloadSpec
+from repro.workloads.sources import resolve_workload_string
+from repro.workloads.suites import WorkloadSpec
 
-WorkloadLike = Union[str, WorkloadSpec]
+# A workload argument: a name / `<prefix>:<spec>` string, a suite
+# WorkloadSpec, or any other workload-source object (see
+# `repro.workloads.sources`) exposing `arrays_for_core`.
+WorkloadLike = Union[str, WorkloadSpec, Any]
 
 _PARAM_FIELDS = tuple(f.name for f in fields(SimulationParams))
 
@@ -81,14 +85,17 @@ _MITIGATION_ONLY_FIELDS = ("trh", "swap_rate", "tracker")
 BASELINE = "baseline"
 
 
-def resolve_workload(workload: WorkloadLike) -> WorkloadSpec:
-    """Look a workload up by name (specs pass through unchanged)."""
-    if isinstance(workload, WorkloadSpec):
+def resolve_workload(workload: WorkloadLike) -> Any:
+    """Resolve a workload string to a workload object.
+
+    Plain names look up the synthetic suite; ``<prefix>:<spec>`` strings
+    (for example ``trace:/path/to/run``) dispatch through the
+    workload-source registry. Workload objects — anything with an
+    ``arrays_for_core`` hook — pass through unchanged.
+    """
+    if not isinstance(workload, str):
         return workload
-    for spec in ALL_WORKLOADS:
-        if spec.name == workload:
-            return spec
-    raise KeyError(f"unknown workload {workload!r}")
+    return resolve_workload_string(workload)
 
 
 def baseline_view(params: SimulationParams) -> SimulationParams:
@@ -108,15 +115,15 @@ def baseline_view(params: SimulationParams) -> SimulationParams:
 class ExperimentCell:
     """One (workload, mitigation, parameters) point of a grid.
 
-    ``workload_spec`` carries an ad-hoc :class:`WorkloadSpec` that is
-    not part of the named suite; when ``None`` the engine resolves
-    ``workload`` by name.
+    ``workload_spec`` carries an ad-hoc workload object (a suite
+    :class:`WorkloadSpec`, a trace workload, ...) that is not resolvable
+    by name; when ``None`` the engine resolves ``workload`` by name.
     """
 
     workload: str
     mitigation: str
     params: SimulationParams
-    workload_spec: Optional[WorkloadSpec] = None
+    workload_spec: Optional[Any] = None
 
 
 @dataclass
@@ -166,15 +173,17 @@ class ExperimentSpec:
             MITIGATIONS.get(name)  # raises ValueError on unknown names
 
     def workload_names(self) -> List[str]:
+        """Resolved workload names, declaration order."""
         return [resolve_workload(w).name for w in self.workloads]
 
-    def _workload_entries(self) -> List[Tuple[str, Optional[WorkloadSpec]]]:
-        """(name, carried ad-hoc spec) per workload; specs passed as
-        objects ride along so they need not be in the named suite."""
+    def _workload_entries(self) -> List[Tuple[str, Optional[Any]]]:
+        """(name, carried ad-hoc spec) per workload; workload objects
+        (suite specs, trace workloads, ...) ride along so they need not
+        be resolvable by name in the worker process."""
         return [
             (
                 resolve_workload(w).name,
-                w if isinstance(w, WorkloadSpec) else None,
+                None if isinstance(w, str) else w,
             )
             for w in self.workloads
         ]
@@ -393,6 +402,7 @@ class ResultSet:
 
     @property
     def workloads(self) -> List[str]:
+        """Workload names present in the set, first-seen order."""
         return list(dict.fromkeys(r.workload for r in self.results))
 
     @property
@@ -406,6 +416,7 @@ class ResultSet:
 
     @property
     def trh_values(self) -> List[int]:
+        """Distinct non-baseline TRH values, descending."""
         return sorted(
             {r.trh for r in self.results if r.mitigation != BASELINE},
             reverse=True,
@@ -500,15 +511,18 @@ class ResultSet:
 
     @classmethod
     def from_json(cls, text: str) -> "ResultSet":
+        """Inverse of :meth:`to_json`."""
         data = json.loads(text)
         return cls([result_from_dict(r) for r in data["results"]])
 
     def save(self, path: str) -> None:
+        """Write the JSON serialization to ``path``."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
 
     @classmethod
     def load(cls, path: str) -> "ResultSet":
+        """Read a set previously written by :meth:`save`."""
         with open(path, encoding="utf-8") as handle:
             return cls.from_json(handle.read())
 

@@ -35,21 +35,26 @@ class SimulationResult:
 
     @property
     def sum_ipc(self) -> float:
+        """Summed per-core IPC (the paper's performance metric)."""
         return sum(core.ipc for core in self.cores)
 
     @property
     def finish_time_ns(self) -> float:
+        """Wall-clock finish of the slowest core (ns)."""
         return max((core.finish_time_ns for core in self.cores), default=0.0)
 
     @property
     def total_instructions(self) -> int:
+        """Instructions retired across all cores."""
         return sum(core.instructions for core in self.cores)
 
     @property
     def total_memory_accesses(self) -> int:
+        """Memory reads plus writes across all cores."""
         return sum(core.memory_reads + core.memory_writes for core in self.cores)
 
     def summary(self) -> str:
+        """One-line progress summary (used by ``grid --verbose``)."""
         return (
             f"{self.workload:<14s} {self.mitigation:<13s} TRH={self.trh:<6d} "
             f"sumIPC={self.sum_ipc:7.3f} swaps={self.swaps:<6d} "

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.controller.memory_system import MemorySystem
 from repro.core.pin_buffer import PinBuffer
@@ -24,8 +24,6 @@ from repro.dram.config import DRAMOrganization, DRAMTiming, SystemConfig
 from repro.registry import MITIGATIONS
 from repro.sim.factory import make_mitigation_factory
 from repro.sim.results import SimulationResult
-from repro.workloads.suites import WorkloadSpec
-from repro.workloads.synthetic import SyntheticTraceGenerator
 
 
 @dataclass(frozen=True)
@@ -84,16 +82,39 @@ class SimulationParams:
 
     @property
     def scaled_trh(self) -> int:
+        """The Row Hammer threshold after time scaling (floor of 8)."""
         scaled = int(round(self.trh / self.time_scale))
         return max(8, scaled)
 
+    def make_organization(self) -> DRAMOrganization:
+        """The DRAM organization these parameters simulate.
+
+        Shared by the simulator and the trace recorder so a recording
+        made under some parameters decodes identically when replayed
+        under the same parameters.
+        """
+        organization = DRAMOrganization()
+        if self.rows_per_bank is not None:
+            organization = replace(organization, rows_per_bank=self.rows_per_bank)
+        return organization
+
 
 class PerformanceSimulation:
-    """Simulates one workload under one mitigation."""
+    """Simulates one workload under one mitigation.
+
+    Args:
+        workload: Any workload-source object — a synthetic
+            :class:`~repro.workloads.suites.WorkloadSpec`, a
+            :class:`~repro.workloads.sources.TraceWorkload`, or anything
+            else exposing ``name``, ``suite``, and
+            ``arrays_for_core(core_id, params, organization)``.
+        mitigation: A registered mitigation name.
+        params: Simulation knobs (defaults to :class:`SimulationParams`).
+    """
 
     def __init__(
         self,
-        workload: WorkloadSpec,
+        workload: Any,
         mitigation: str,
         params: Optional[SimulationParams] = None,
     ):
@@ -103,9 +124,7 @@ class PerformanceSimulation:
         params = self.params
 
         timing = params.scaled_timing()
-        organization = DRAMOrganization()
-        if params.rows_per_bank is not None:
-            organization = replace(organization, rows_per_bank=params.rows_per_bank)
+        organization = params.make_organization()
         self.config = SystemConfig(
             timing=timing, organization=organization, num_cores=params.num_cores
         )
@@ -126,18 +145,21 @@ class PerformanceSimulation:
         self.memory = MemorySystem(self.config, factory, policy=params.policy)
 
     def run(self) -> SimulationResult:
+        """Drive every core's trace through the memory system.
+
+        Per-core access streams come from the workload source's
+        ``arrays_for_core`` hook — synthetic generation and recorded
+        replay feed the identical loop below.
+        """
         params = self.params
         cores: List[TraceCore] = []
         traces = []
         for core_id in range(params.num_cores):
-            profile = self.workload.profile_for_core(core_id)
-            generator = SyntheticTraceGenerator(
-                profile,
-                self.config.organization,
-                seed=params.seed + 17 * core_id,
-                core_id=core_id,
+            traces.append(
+                self.workload.arrays_for_core(
+                    core_id, params, self.config.organization
+                )
             )
-            traces.append(generator.generate_arrays(params.requests_per_core))
             cores.append(TraceCore(core_id, self.config))
 
         # Global-time-ordered interleaving of cores: a heap keyed by each

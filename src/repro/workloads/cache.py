@@ -1,0 +1,117 @@
+"""On-disk cache for parsed trace files.
+
+Parsing a USIMM text trace is a per-line Python loop — by far the
+slowest step of replaying a recorded workload, and one a grid run would
+otherwise repeat for every (mitigation, TRH) cell that names the same
+trace. This module persists the parsed columns (gaps, write flags, raw
+byte addresses) as a compressed ``.npz`` next to a key derived from the
+source path, and validates each hit against the source file's current
+``(mtime_ns, size)``: editing or regenerating the trace invalidates the
+entry automatically, and a corrupt or truncated cache file falls back to
+a fresh parse.
+
+The cache stores *addresses*, not decoded coordinates, because decoding
+depends on the simulated :class:`~repro.dram.config.DRAMOrganization`;
+decode is vectorized and cheap, so one cache entry serves every
+geometry.
+
+The cache directory defaults to ``~/.cache/repro/traces`` and can be
+redirected with the ``REPRO_TRACE_CACHE`` environment variable (tests
+point it at a temp dir; set it to an empty string to disable caching).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zipfile
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.workloads.trace import open_trace, parse_trace_columns
+
+ENV_CACHE_DIR = "REPRO_TRACE_CACHE"
+
+_CACHE_VERSION = 1
+
+
+def cache_dir() -> Optional[Path]:
+    """The active cache directory, or ``None`` when caching is disabled."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override is not None:
+        return Path(override) if override else None
+    return Path.home() / ".cache" / "repro" / "traces"
+
+
+def cache_entry_path(trace_path: str, directory: Optional[Path] = None) -> Optional[Path]:
+    """Cache file location for a trace path (``None`` if caching is off)."""
+    base = directory if directory is not None else cache_dir()
+    if base is None:
+        return None
+    digest = hashlib.sha256(str(Path(trace_path).resolve()).encode()).hexdigest()[:24]
+    return base / f"{Path(trace_path).name}.{digest}.npz"
+
+
+def _source_stamp(trace_path: str) -> Tuple[int, int]:
+    """The (mtime_ns, size) pair a cache entry is validated against."""
+    stat = os.stat(trace_path)
+    return stat.st_mtime_ns, stat.st_size
+
+
+def _load_entry(
+    entry: Path, stamp: Tuple[int, int]
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """A valid cached parse, or ``None`` (stale, corrupt, or missing)."""
+    try:
+        with np.load(entry) as data:
+            if int(data["version"]) != _CACHE_VERSION:
+                return None
+            if (int(data["mtime_ns"]), int(data["size"])) != stamp:
+                return None
+            return data["gaps"], data["is_write"], data["addresses"]
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+        return None
+
+
+def load_trace_columns(
+    trace_path: str,
+    name: str = "",
+    directory: Optional[Path] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Parse a trace file into ``(gaps, is_write, addresses)``, cached.
+
+    Args:
+        trace_path: The USIMM text trace (``.gz`` transparently handled).
+        name: Trace name used in parse-error messages (default: the path).
+        directory: Cache directory override; defaults to :func:`cache_dir`
+            (``None`` there disables caching entirely).
+    """
+    name = name or str(trace_path)
+    entry = cache_entry_path(trace_path, directory)
+    stamp = _source_stamp(trace_path)
+    if entry is not None:
+        cached = _load_entry(entry, stamp)
+        if cached is not None:
+            return cached
+
+    with open_trace(trace_path) as stream:
+        gaps, is_write, addresses = parse_trace_columns(stream, name=name)
+
+    if entry is not None:
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename, with a per-process temp name so parallel grid
+        # workers parsing the same trace cannot corrupt each other's entry.
+        tmp = entry.with_suffix(f".tmp{os.getpid()}.npz")
+        np.savez_compressed(
+            tmp,
+            version=_CACHE_VERSION,
+            mtime_ns=stamp[0],
+            size=stamp[1],
+            gaps=gaps,
+            is_write=is_write,
+            addresses=addresses,
+        )
+        os.replace(tmp, entry)
+    return gaps, is_write, addresses

@@ -1,0 +1,181 @@
+"""Workload sources: pluggable producers of per-core columnar traces.
+
+A *workload source* owns a prefix in workload strings
+(``<prefix>:<spec>``) and resolves the spec into a workload object the
+simulator drives through one uniform hook::
+
+    workload.arrays_for_core(core_id, params, organization)
+        -> ColumnarTrace
+
+Two sources are built in and self-register with
+:func:`repro.registry.register_workload_source` (exactly like
+mitigations and trackers do with their registries):
+
+- ``synthetic`` — the default for plain names: ``gcc``, ``mix1``, and
+  ``synthetic:gcc`` all resolve to the named
+  :class:`~repro.workloads.suites.WorkloadSpec` of the 78-workload
+  suite, generated per core by the
+  :class:`~repro.workloads.synthetic.SyntheticTraceGenerator`.
+- ``trace`` — file-backed replay: ``trace:/path/to/run`` resolves to a
+  :class:`TraceWorkload` that loads recorded USIMM traces (through the
+  mtime-keyed :mod:`repro.workloads.cache`) and decodes them with the
+  simulated organization's address mapper. The path may be a single
+  trace file (every core replays the same stream, rate-mode style) or a
+  directory of per-core files as written by
+  :func:`repro.sim.recorder.record_workload`.
+
+Both sources emit the same :class:`~repro.workloads.columnar.ColumnarTrace`
+shape, so recorded and synthetic workloads run through the identical
+simulator hot path — which is what makes record→replay bit-deterministic.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Tuple
+
+from repro.dram.address import AddressMapper
+from repro.dram.config import DRAMOrganization
+from repro.registry import (
+    WORKLOAD_SOURCES,
+    register_workload_source,
+    workload_source_names,
+)
+from repro.workloads.cache import load_trace_columns
+from repro.workloads.columnar import ColumnarTrace
+from repro.workloads.suites import ALL_WORKLOADS, WorkloadSpec
+
+#: Filename patterns recognised as trace files inside a trace directory.
+TRACE_FILE_GLOBS: Tuple[str, ...] = ("*.trace", "*.trace.gz", "*.usimm", "*.usimm.gz")
+
+
+def resolve_synthetic_name(name: str) -> WorkloadSpec:
+    """Look up a named workload of the built-in suite.
+
+    Raises ``KeyError`` (with the unknown name) when no workload
+    matches, mirroring :func:`repro.workloads.suites.profile_by_name`.
+    """
+    for spec in ALL_WORKLOADS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown workload {name!r}")
+
+
+def _natural_key(path: Path) -> List[Any]:
+    """Sort key ordering ``core2`` before ``core10``."""
+    return [
+        int(part) if part.isdigit() else part
+        for part in re.split(r"(\d+)", path.name)
+    ]
+
+
+@register_workload_source(
+    "trace",
+    resolver=lambda spec_text: TraceWorkload(path=spec_text),
+    description="replay a recorded USIMM trace file or per-core directory",
+)
+@dataclass(frozen=True)
+class TraceWorkload:
+    """A workload replayed from recorded USIMM trace files.
+
+    Attributes:
+        path: A trace file, or a directory of per-core trace files
+            (``core0.trace`` ... as written by ``trace record``). With a
+            directory, core ``i`` replays file ``i % len(files)`` in
+            natural-sorted order; with a single file every core replays
+            the same stream (rate mode).
+        name: Workload name used in results; defaults to
+            ``trace:<path>`` so replays are self-describing in tables
+            and exports.
+        suite: Suite label carried into results (default ``TRACE``).
+    """
+
+    path: str
+    name: str = ""
+    suite: str = "TRACE"
+
+    def __post_init__(self):
+        if not self.name:
+            object.__setattr__(self, "name", f"trace:{self.path}")
+
+    @property
+    def is_mix(self) -> bool:
+        """Trace directories with several per-core files act like mixes."""
+        return len(self.core_files()) > 1
+
+    def core_files(self) -> List[str]:
+        """The trace file(s) backing this workload, in core order.
+
+        Raises ``FileNotFoundError`` for a missing path and
+        ``ValueError`` for a directory containing no recognisable trace
+        files (see :data:`TRACE_FILE_GLOBS`).
+        """
+        root = Path(self.path)
+        if root.is_dir():
+            files = sorted(
+                {f for pattern in TRACE_FILE_GLOBS for f in root.glob(pattern)},
+                key=_natural_key,
+            )
+            if not files:
+                raise ValueError(
+                    f"trace directory {self.path!r} contains no trace files "
+                    f"(looked for {', '.join(TRACE_FILE_GLOBS)})"
+                )
+            return [str(f) for f in files]
+        if not root.exists():
+            raise FileNotFoundError(f"trace path {self.path!r} does not exist")
+        return [str(root)]
+
+    def columns_for_file(self, file_path: str):
+        """Cached ``(gaps, is_write, addresses)`` columns of one file."""
+        return load_trace_columns(file_path, name=file_path)
+
+    def arrays_for_core(
+        self, core_id: int, params: Any, organization: DRAMOrganization
+    ) -> ColumnarTrace:
+        """Columnar replay arrays for one core (the workload-source hook).
+
+        The recorded byte addresses are decoded with ``organization``'s
+        mapper, and the stream is truncated to
+        ``params.requests_per_core`` when the recording is longer (a
+        shorter recording replays in full).
+        """
+        files = self.core_files()
+        gaps, is_write, addresses = self.columns_for_file(
+            files[core_id % len(files)]
+        )
+        arrays = ColumnarTrace.from_addresses(
+            gaps, is_write, addresses, AddressMapper(organization)
+        )
+        return arrays.take(params.requests_per_core)
+
+
+# The synthetic suite registers as the `synthetic` source; plain
+# (colon-free) workload names fall through to it in
+# `resolve_workload_string`, so `gcc` and `synthetic:gcc` are the same
+# workload.
+register_workload_source(
+    "synthetic",
+    resolver=resolve_synthetic_name,
+    description="named profile or mix from the built-in 78-workload suite",
+)(WorkloadSpec)
+
+
+def resolve_workload_string(text: str) -> Any:
+    """Resolve a workload string through the workload-source registry.
+
+    ``<prefix>:<spec>`` dispatches to the registered source; a plain
+    name resolves through the ``synthetic`` suite. Unknown prefixes
+    raise ``ValueError`` naming the registered options.
+    """
+    prefix, sep, rest = text.partition(":")
+    if sep and prefix in WORKLOAD_SOURCES:
+        return WORKLOAD_SOURCES.get(prefix).resolver(rest)
+    if sep:
+        raise ValueError(
+            f"unknown workload source prefix {prefix!r} in {text!r}; "
+            f"registered prefixes: {workload_source_names()}"
+        )
+    return resolve_synthetic_name(text)

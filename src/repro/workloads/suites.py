@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.workloads.synthetic import BenchmarkProfile
+from repro.workloads.synthetic import BenchmarkProfile, SyntheticTraceGenerator
 
 
 def _p(
@@ -164,11 +164,37 @@ class WorkloadSpec:
     components: Tuple[str, ...]
 
     def profile_for_core(self, core_id: int) -> BenchmarkProfile:
+        """The benchmark profile core ``core_id`` runs (cycling for mixes)."""
         return PROFILES[self.components[core_id % len(self.components)]]
 
     @property
     def is_mix(self) -> bool:
+        """Whether the workload assigns different benchmarks per core."""
         return len(self.components) > 1
+
+    def arrays_for_core(self, core_id, params, organization):
+        """Columnar trace arrays for one core (the workload-source hook).
+
+        Every workload source implements this method with the same
+        signature; for synthetic workloads it seeds a
+        :class:`SyntheticTraceGenerator` from the simulation parameters
+        exactly as the simulator always has (``seed + 17 * core_id``),
+        so recording and replaying preserve the per-core streams
+        bit-for-bit.
+
+        Args:
+            core_id: The core the stream is for.
+            params: A :class:`~repro.sim.simulator.SimulationParams`
+                (only ``seed`` and ``requests_per_core`` are read).
+            organization: The simulated DRAM organization.
+        """
+        generator = SyntheticTraceGenerator(
+            self.profile_for_core(core_id),
+            organization,
+            seed=params.seed + 17 * core_id,
+            core_id=core_id,
+        )
+        return generator.generate_arrays(params.requests_per_core)
 
 
 _MIXES = [
@@ -208,6 +234,7 @@ def profile_by_name(name: str) -> BenchmarkProfile:
 
 
 def workloads_in_suite(suite: str) -> List[WorkloadSpec]:
+    """All workloads of one suite (e.g. ``"GAP"``), suite order."""
     return [w for w in ALL_WORKLOADS if w.suite == suite]
 
 

@@ -12,13 +12,15 @@ window" behaviour for the benchmarks it names as swap-heavy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.dram.address import AddressMapper, DecodedAddress
 from repro.dram.config import DRAMOrganization
+from repro.workloads.columnar import ColumnarTrace
 from repro.workloads.trace import Trace, TraceRecord
 
 
@@ -75,20 +77,10 @@ class BenchmarkProfile:
         return self.hot_access_fraction >= 0.05 and self.hot_row_count > 0
 
 
-@dataclass
-class GeneratedArrays:
-    """Columnar trace arrays for the fast simulation path."""
-
-    gaps: np.ndarray  # int64 instruction gaps
-    is_write: np.ndarray  # bool
-    channel: np.ndarray  # int16
-    rank: np.ndarray  # int16
-    bank: np.ndarray  # int16
-    row: np.ndarray  # int32
-    column: np.ndarray  # int32
-
-    def __len__(self) -> int:
-        return len(self.gaps)
+# Synthetic generation historically returned its own `GeneratedArrays`
+# struct; the columnar representation is now shared with the trace
+# loader so both workload sources feed the identical simulator hot path.
+GeneratedArrays = ColumnarTrace
 
 
 class SyntheticTraceGenerator:
@@ -141,12 +133,18 @@ class SyntheticTraceGenerator:
     def _core_base_slot(self) -> int:
         """Start of this core's private row region.
 
-        Placement is drawn from the (seeded) RNG so different cores — and
+        Placement is drawn from a seeded RNG so different cores — and
         different benchmarks of a mix — land their hot sets in different
-        banks, as independently-allocated processes would.
+        banks, as independently-allocated processes would. The seed is a
+        *stable* digest of (benchmark, core): Python's own ``hash()`` of
+        a string is randomized per process, which would make traces
+        recorded in one process replay differently in the next.
         """
+        digest = hashlib.sha256(
+            f"{self.profile.name}:{self.core_id}".encode()
+        ).digest()
         placement_rng = np.random.default_rng(
-            (hash((self.profile.name, self.core_id)) & 0xFFFF_FFFF) ^ 0x9E37
+            int.from_bytes(digest[:4], "little") ^ 0x9E37
         )
         return int(placement_rng.integers(0, max(1, self._total_slots() // 2)))
 
@@ -175,7 +173,7 @@ class SyntheticTraceGenerator:
         weights /= weights.sum()
         return self.rng.choice(n, size=count, p=weights)
 
-    def generate_arrays(self, num_records: int) -> GeneratedArrays:
+    def generate_arrays(self, num_records: int) -> ColumnarTrace:
         """Columnar generation (the fast path for the simulator)."""
         if num_records <= 0:
             raise ValueError("num_records must be positive")
@@ -204,7 +202,7 @@ class SyntheticTraceGenerator:
             slots[~hot_mask] = cold
         channel, rank, bank, row = self._slot_to_coords(slots)
         column = self.rng.integers(0, org.lines_per_row, size=num_records)
-        return GeneratedArrays(
+        return ColumnarTrace(
             gaps=gaps.astype(np.int64),
             is_write=is_write,
             channel=channel.astype(np.int16),

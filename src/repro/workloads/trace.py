@@ -4,13 +4,32 @@ A trace is a sequence of LLC-miss records. Each record carries the number
 of non-memory instructions preceding the access (the *gap*), whether it is
 a read or write, and the physical byte address. The on-disk format is one
 record per line: ``<gap> <R|W> <hex address>`` — the shape USIMM's trace
-readers expect.
+readers expect. Blank lines and ``#`` comments are ignored; files ending
+in ``.gz`` are transparently gzip-compressed.
+
+Two in-memory representations exist. :class:`Trace` (lists of
+:class:`TraceRecord`) is the convenient object form for inspection and
+small files; :func:`parse_trace_columns` feeds the columnar fast path
+(:class:`repro.workloads.columnar.ColumnarTrace`) that the simulator and
+the on-disk cache use.
 """
 
 from __future__ import annotations
 
+import gzip
 from dataclasses import dataclass
-from typing import IO, Iterable, Iterator, List, Union
+from typing import IO, Iterable, Iterator, List, Tuple, Union
+
+import numpy as np
+
+
+class TraceParseError(ValueError):
+    """A malformed trace line, reporting the trace name and line number."""
+
+    def __init__(self, name: str, line_no: int, message: str):
+        super().__init__(f"{name}: line {line_no}: {message}")
+        self.name = name
+        self.line_no = line_no
 
 
 @dataclass(frozen=True)
@@ -29,11 +48,19 @@ class TraceRecord:
 
 
 class Trace:
-    """An in-memory trace with summary statistics."""
+    """An in-memory trace with summary statistics.
+
+    Summary statistics (:attr:`total_instructions`,
+    :attr:`write_fraction`) are computed once at construction — the
+    record list is treated as immutable after ``__init__``.
+    """
 
     def __init__(self, records: Iterable[TraceRecord], name: str = "trace"):
         self.records: List[TraceRecord] = list(records)
         self.name = name
+        self._total_instructions = sum(r.gap for r in self.records) + len(self.records)
+        writes = sum(1 for r in self.records if r.is_write)
+        self._write_fraction = writes / len(self.records) if self.records else 0.0
 
     def __len__(self) -> int:
         return len(self.records)
@@ -47,13 +74,12 @@ class Trace:
     @property
     def total_instructions(self) -> int:
         """Instructions represented: gaps plus one per memory access."""
-        return sum(r.gap for r in self.records) + len(self.records)
+        return self._total_instructions
 
     @property
     def write_fraction(self) -> float:
-        if not self.records:
-            return 0.0
-        return sum(1 for r in self.records if r.is_write) / len(self.records)
+        """Share of records that are writes (0.0 for an empty trace)."""
+        return self._write_fraction
 
     @property
     def mpki(self) -> float:
@@ -78,24 +104,84 @@ def write_trace(trace: Trace, stream: IO[str]) -> int:
     return n
 
 
+def _parse_line(name: str, line_no: int, line: str) -> Tuple[int, bool, int]:
+    """One stripped, non-empty trace line -> (gap, is_write, address)."""
+    parts = line.split()
+    if len(parts) != 3:
+        raise TraceParseError(name, line_no, "expected '<gap> <R|W> <addr>'")
+    gap_text, op, addr_text = parts
+    if op not in ("R", "W"):
+        raise TraceParseError(name, line_no, f"op must be R or W, got {op!r}")
+    try:
+        gap = int(gap_text)
+        address = int(addr_text, 16)
+    except ValueError:
+        raise TraceParseError(
+            name, line_no, f"bad gap or address in {line!r}"
+        ) from None
+    if gap < 0 or address < 0:
+        raise TraceParseError(name, line_no, "gap and address must be non-negative")
+    return gap, op == "W", address
+
+
 def read_trace(stream: Union[IO[str], Iterable[str]], name: str = "trace") -> Trace:
-    """Parse a trace from the one-record-per-line format."""
+    """Parse a trace from the one-record-per-line format.
+
+    Malformed lines raise :class:`TraceParseError` carrying ``name`` and
+    the 1-based line number.
+    """
     records = []
     for line_no, line in enumerate(stream, start=1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        parts = line.split()
-        if len(parts) != 3:
-            raise ValueError(f"line {line_no}: expected '<gap> <R|W> <addr>'")
-        gap_text, op, addr_text = parts
-        if op not in ("R", "W"):
-            raise ValueError(f"line {line_no}: op must be R or W, got {op!r}")
-        records.append(
-            TraceRecord(
-                gap=int(gap_text),
-                is_write=(op == "W"),
-                address=int(addr_text, 16),
-            )
-        )
+        gap, is_write, address = _parse_line(name, line_no, line)
+        records.append(TraceRecord(gap=gap, is_write=is_write, address=address))
     return Trace(records, name=name)
+
+
+def parse_trace_columns(
+    stream: Union[IO[str], Iterable[str]], name: str = "trace"
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Parse a trace into ``(gaps, is_write, addresses)`` numpy arrays.
+
+    The columnar loader path: no per-record objects are created, and the
+    result is what the trace cache persists. Empty (or comment-only)
+    traces yield zero-length, correctly-typed arrays.
+    """
+    gaps: List[int] = []
+    writes: List[bool] = []
+    addresses: List[int] = []
+    for line_no, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        gap, is_write, address = _parse_line(name, line_no, line)
+        gaps.append(gap)
+        writes.append(is_write)
+        addresses.append(address)
+    return (
+        np.array(gaps, dtype=np.int64),
+        np.array(writes, dtype=bool),
+        np.array(addresses, dtype=np.int64),
+    )
+
+
+def open_trace(path: str, mode: str = "rt") -> IO[str]:
+    """Open a trace file for text IO, transparently gzipped for ``.gz``."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode, encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def load_trace(path: str, name: str = "") -> Trace:
+    """Read a trace file (gzip-aware); ``name`` defaults to the path."""
+    name = name or str(path)
+    with open_trace(path) as stream:
+        return read_trace(stream, name=name)
+
+
+def save_trace(trace: Trace, path: str) -> int:
+    """Write a trace file (gzip-aware); returns records written."""
+    with open_trace(path, "wt") as stream:
+        return write_trace(trace, stream)

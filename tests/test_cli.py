@@ -19,6 +19,8 @@ class TestParser:
             ["run", "gcc"],
             ["sweep", "gcc"],
             ["grid"],
+            ["trace", "record", "gcc", "--out", "x"],
+            ["trace", "info", "x"],
             ["attack"],
             ["security-sweep"],
             ["outliers"],
@@ -27,6 +29,14 @@ class TestParser:
         ):
             args = parser.parse_args(command)
             assert callable(args.func)
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_grid_workload_singular_alias(self):
+        args = build_parser().parse_args(["grid", "--workload", "trace:/x"])
+        assert args.workloads == ["trace:/x"]
 
     def test_mitigation_choices_derived_from_registry(self):
         parser = build_parser()
@@ -113,6 +123,29 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "2400" in out and "1200" in out and "rrs" in out
+
+    def test_trace_record_info_and_replay(self, capsys, tmp_path):
+        out_dir = tmp_path / "rec"
+        code = main([
+            "trace", "record", "povray", "--out", str(out_dir),
+            "--cores", "2", "--requests", "1500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "core0.trace" in out and "core1.trace" in out
+
+        assert main(["trace", "info", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "core0.trace" in out and "TOTAL" in out and "1500" in out
+
+        code = main([
+            "grid", "--workload", f"trace:{out_dir}", "--trh", "1200",
+            "--cores", "2", "--requests", "1500", "--mitigations", "rrs",
+            "--jobs", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace:{out_dir}" in out and "GEOMEAN" in out
 
     def test_grid_small_with_export(self, capsys, tmp_path):
         csv_path = tmp_path / "grid.csv"

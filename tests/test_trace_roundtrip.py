@@ -1,0 +1,229 @@
+"""Trace file round-trip edge cases: errors, gzip, empty traces, caching."""
+
+import gzip
+import io
+import time
+
+import numpy as np
+import pytest
+
+from repro.dram.address import AddressMapper
+from repro.dram.config import DRAMOrganization
+from repro.workloads.cache import cache_entry_path, load_trace_columns
+from repro.workloads.columnar import ColumnarTrace
+from repro.workloads.trace import (
+    Trace,
+    TraceParseError,
+    TraceRecord,
+    load_trace,
+    parse_trace_columns,
+    read_trace,
+    save_trace,
+)
+
+
+class TestParseErrors:
+    def test_malformed_line_reports_name_and_line(self):
+        text = "5 R 0x40\n5 X 0x80\n"
+        with pytest.raises(TraceParseError, match=r"mytrace: line 2: op must be"):
+            read_trace(io.StringIO(text), name="mytrace")
+
+    def test_wrong_field_count_reports_line(self):
+        with pytest.raises(TraceParseError, match=r"line 1: expected"):
+            read_trace(io.StringIO("5 R\n"))
+
+    def test_bad_numbers_report_line(self):
+        with pytest.raises(TraceParseError, match=r"t: line 3"):
+            read_trace(io.StringIO("1 R 0x1\n2 W 0x2\nxx R 0x3\n"), name="t")
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(TraceParseError, match="non-negative"):
+            read_trace(io.StringIO("-3 R 0x40\n"))
+
+    def test_comment_lines_count_toward_line_numbers(self):
+        text = "# header\n# more\nbroken\n"
+        with pytest.raises(TraceParseError, match=r"line 3"):
+            read_trace(io.StringIO(text))
+
+    def test_columnar_parser_same_errors(self):
+        with pytest.raises(TraceParseError, match=r"cols: line 2"):
+            parse_trace_columns(io.StringIO("1 R 0x1\nbad\n"), name="cols")
+
+    def test_file_loader_uses_path_as_default_name(self, tmp_path):
+        path = tmp_path / "broken.trace"
+        path.write_text("nope\n")
+        with pytest.raises(TraceParseError, match="broken.trace"):
+            load_trace(str(path))
+
+
+class TestGzipRoundTrip:
+    def make_trace(self, n=50):
+        return Trace(
+            [TraceRecord(gap=i, is_write=i % 3 == 0, address=64 * i) for i in range(n)],
+            name="rt",
+        )
+
+    def test_plain_file_roundtrip(self, tmp_path):
+        path = tmp_path / "t.trace"
+        trace = self.make_trace()
+        assert save_trace(trace, str(path)) == 50
+        reloaded = load_trace(str(path), name="rt")
+        assert list(reloaded) == list(trace)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        trace = self.make_trace()
+        save_trace(trace, str(path))
+        # Really gzip on disk (magic bytes), not plain text.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        reloaded = load_trace(str(path), name="rt")
+        assert list(reloaded) == list(trace)
+
+    def test_gzip_and_plain_agree(self, tmp_path):
+        trace = self.make_trace()
+        save_trace(trace, str(tmp_path / "a.trace"))
+        save_trace(trace, str(tmp_path / "b.trace.gz"))
+        plain = (tmp_path / "a.trace").read_text()
+        unzipped = gzip.decompress((tmp_path / "b.trace.gz").read_bytes()).decode()
+        assert plain == unzipped
+
+
+class TestEmptyTrace:
+    def test_empty_trace_statistics(self):
+        trace = Trace([], name="empty")
+        assert len(trace) == 0
+        assert trace.total_instructions == 0
+        assert trace.write_fraction == 0.0
+        assert trace.mpki == 0.0
+        assert trace.address_footprint() == 0
+
+    def test_empty_file_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        save_trace(Trace([], name="empty"), str(path))
+        assert len(load_trace(str(path))) == 0
+
+    def test_comment_only_file_parses_to_zero_columns(self, tmp_path):
+        path = tmp_path / "comments.trace"
+        path.write_text("# only\n# comments\n\n")
+        gaps, is_write, addresses = load_trace_columns(str(path))
+        assert len(gaps) == len(is_write) == len(addresses) == 0
+        assert gaps.dtype == np.int64 and addresses.dtype == np.int64
+
+    def test_empty_columnar_trace(self):
+        arrays = ColumnarTrace.empty()
+        assert len(arrays) == 0
+        assert arrays.total_instructions == 0
+        assert arrays.mpki == 0.0
+        assert arrays.row_footprint() == 0
+
+
+class TestColumnarRoundTrip:
+    def test_encode_decode_inverse(self):
+        mapper = AddressMapper(DRAMOrganization())
+        rng = np.random.default_rng(7)
+        org = mapper.organization
+        original = ColumnarTrace(
+            gaps=rng.integers(0, 100, 256).astype(np.int64),
+            is_write=rng.random(256) < 0.3,
+            channel=rng.integers(0, org.channels, 256).astype(np.int16),
+            rank=rng.integers(0, org.ranks_per_channel, 256).astype(np.int16),
+            bank=rng.integers(0, org.banks_per_rank, 256).astype(np.int16),
+            row=rng.integers(0, org.rows_per_bank, 256).astype(np.int32),
+            column=rng.integers(0, org.lines_per_row, 256).astype(np.int32),
+        )
+        addresses = original.encode_addresses(mapper)
+        rebuilt = ColumnarTrace.from_addresses(
+            original.gaps, original.is_write, addresses, mapper
+        )
+        assert original.equals(rebuilt)
+
+    def test_encode_rejects_out_of_range(self):
+        mapper = AddressMapper(DRAMOrganization())
+        arrays = ColumnarTrace.empty()
+        with pytest.raises(ValueError, match="row"):
+            mapper.encode_arrays(
+                np.zeros(1, int), np.zeros(1, int), np.zeros(1, int),
+                np.array([mapper.organization.rows_per_bank]), np.zeros(1, int),
+            )
+        # Empty arrays are fine through the full path.
+        assert len(arrays.encode_addresses(mapper)) == 0
+
+    def test_take_truncates(self):
+        mapper = AddressMapper(DRAMOrganization())
+        gaps = np.arange(10, dtype=np.int64)
+        arrays = ColumnarTrace.from_addresses(
+            gaps, np.zeros(10, bool), np.arange(10) * 64, mapper
+        )
+        assert len(arrays.take(4)) == 4
+        assert arrays.take(100) is arrays
+
+
+class TestTraceStatsCached:
+    def test_stats_computed_once_in_init(self):
+        # The properties must not re-walk the record list on each access:
+        # mutating the list afterwards does not change the statistics.
+        trace = Trace([TraceRecord(9, True, 0)], name="t")
+        assert trace.total_instructions == 10
+        trace.records.append(TraceRecord(1000, False, 64))
+        assert trace.total_instructions == 10
+        assert trace.write_fraction == 1.0
+
+
+class TestCache:
+    def write(self, path, lines):
+        path.write_text("".join(lines))
+
+    def test_cache_hit_returns_same_columns(self, tmp_path, isolated_trace_cache):
+        path = tmp_path / "c.trace"
+        self.write(path, ["3 R 0x40\n", "0 W 0x80\n"])
+        first = load_trace_columns(str(path))
+        entry = cache_entry_path(str(path))
+        assert entry is not None and entry.exists()
+        second = load_trace_columns(str(path))
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_cache_invalidated_on_file_change(self, tmp_path):
+        path = tmp_path / "c.trace"
+        self.write(path, ["3 R 0x40\n"])
+        assert len(load_trace_columns(str(path))[0]) == 1
+        self.write(path, ["3 R 0x40\n", "1 W 0x80\n"])
+        gaps, is_write, addresses = load_trace_columns(str(path))
+        assert len(gaps) == 2 and bool(is_write[1])
+
+    def test_cache_invalidated_on_same_size_change(self, tmp_path):
+        path = tmp_path / "c.trace"
+        self.write(path, ["3 R 0x40\n"])
+        load_trace_columns(str(path))
+        time.sleep(0.01)  # ensure a distinct mtime_ns even on coarse clocks
+        self.write(path, ["7 W 0x80\n"])
+        gaps, is_write, addresses = load_trace_columns(str(path))
+        assert gaps[0] == 7 and bool(is_write[0]) and addresses[0] == 0x80
+
+    def test_corrupt_cache_entry_falls_back_to_parse(self, tmp_path):
+        path = tmp_path / "c.trace"
+        self.write(path, ["3 R 0x40\n"])
+        load_trace_columns(str(path))
+        entry = cache_entry_path(str(path))
+        entry.write_bytes(b"not an npz archive")
+        gaps, _, _ = load_trace_columns(str(path))
+        assert len(gaps) == 1
+
+    def test_cache_disabled_by_empty_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "")
+        path = tmp_path / "c.trace"
+        self.write(path, ["3 R 0x40\n"])
+        assert cache_entry_path(str(path)) is None
+        gaps, _, _ = load_trace_columns(str(path))
+        assert len(gaps) == 1
+
+    def test_gzip_traces_cache_too(self, tmp_path):
+        path = tmp_path / "c.trace.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("5 R 0x140\n")
+        gaps, _, addresses = load_trace_columns(str(path))
+        assert gaps[0] == 5 and addresses[0] == 0x140
+        entry = cache_entry_path(str(path))
+        assert entry.exists()
+        gaps2, _, _ = load_trace_columns(str(path))
+        assert np.array_equal(gaps, gaps2)

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Documentation checks for CI (no third-party dependencies).
+
+Two checks, both fast:
+
+1. **Docstring coverage** (interrogate-style, via ``ast``): every public
+   module, class, function, and method under the enforced packages
+   (``repro.workloads``, ``repro.sim``, ``repro.cpu``) must carry a
+   docstring. "Public" means not underscore-prefixed; dunders other than
+   module-level ``__init__`` are exempt, as are trivial overrides of the
+   collection protocol (``__len__``-style dunders).
+
+2. **Doc code blocks import cleanly**: every fenced ``python`` block in
+   README.md and DESIGN.md is parsed, and its import statements are
+   executed, so renamed or removed APIs break CI instead of readers.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exits non-zero with a per-finding report on failure.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Packages whose public API must be fully documented.
+ENFORCED_PACKAGES = ("src/repro/workloads", "src/repro/sim", "src/repro/cpu")
+
+#: Documents whose ``python`` code blocks must import cleanly.
+DOCUMENTS = ("README.md", "DESIGN.md")
+
+
+def iter_python_files() -> Iterator[Path]:
+    """Every module of the enforced packages."""
+    for package in ENFORCED_PACKAGES:
+        yield from sorted((REPO_ROOT / package).rglob("*.py"))
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _check_node(
+    node: ast.AST, qualname: str, findings: List[str], path: Path
+) -> None:
+    """Record a finding if a public def/class lacks a docstring."""
+    if ast.get_docstring(node) is None:
+        findings.append(f"{path.relative_to(REPO_ROOT)}:{node.lineno}: {qualname}")
+
+
+def check_docstrings() -> List[str]:
+    """Missing-docstring findings across the enforced packages."""
+    findings: List[str] = []
+    for path in iter_python_files():
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if ast.get_docstring(tree) is None:
+            findings.append(f"{path.relative_to(REPO_ROOT)}:1: module docstring")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and _is_public(node.name):
+                _check_node(node, f"class {node.name}", findings, path)
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and _is_public(item.name):
+                        _check_node(
+                            item, f"{node.name}.{item.name}", findings, path
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Module-level functions; methods are handled above.
+                if _is_public(node.name) and node.col_offset == 0:
+                    _check_node(node, f"def {node.name}", findings, path)
+    return findings
+
+
+def python_blocks(text: str) -> Iterator[Tuple[int, str]]:
+    """(start line, code) for each fenced ``python`` block."""
+    for match in re.finditer(r"```python\n(.*?)```", text, flags=re.DOTALL):
+        line = text[: match.start()].count("\n") + 2
+        yield line, match.group(1)
+
+
+def check_documents() -> List[str]:
+    """Findings for doc code blocks that fail to parse or import."""
+    findings: List[str] = []
+    for name in DOCUMENTS:
+        path = REPO_ROOT / name
+        if not path.exists():
+            findings.append(f"{name}: document missing")
+            continue
+        for line, code in python_blocks(path.read_text(encoding="utf-8")):
+            try:
+                tree = ast.parse(code)
+            except SyntaxError as error:
+                findings.append(f"{name}:{line}: syntax error: {error}")
+                continue
+            imports = [
+                node
+                for node in tree.body
+                if isinstance(node, (ast.Import, ast.ImportFrom))
+            ]
+            for node in imports:
+                snippet = ast.get_source_segment(code, node) or "<import>"
+                try:
+                    exec(compile(ast.Module([node], []), name, "exec"), {})
+                except Exception as error:  # pragma: no cover - report & continue
+                    findings.append(
+                        f"{name}:{line + node.lineno - 1}: "
+                        f"{snippet!r} failed: {error}"
+                    )
+    return findings
+
+
+def main() -> int:
+    """Run both checks; print findings and return a process exit code."""
+    failures = 0
+    docstring_findings = check_docstrings()
+    if docstring_findings:
+        failures += len(docstring_findings)
+        print(f"missing docstrings ({len(docstring_findings)}):")
+        for finding in docstring_findings:
+            print(f"  {finding}")
+    document_findings = check_documents()
+    if document_findings:
+        failures += len(document_findings)
+        print(f"broken doc code blocks ({len(document_findings)}):")
+        for finding in document_findings:
+            print(f"  {finding}")
+    if failures:
+        print(f"FAILED: {failures} documentation finding(s)")
+        return 1
+    modules = sum(1 for _ in iter_python_files())
+    print(f"docs OK: {modules} modules fully documented, "
+          f"{len(DOCUMENTS)} documents import cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
