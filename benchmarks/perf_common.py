@@ -22,6 +22,7 @@ workload instead of once per sweep point.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from repro.sim.experiment import ExperimentSpec, run_grid
@@ -110,7 +111,12 @@ def print_table(
     for workload, row in table.items():
         cells = "".join(f"{row[m]:>16.4f}" for m in mitigations)
         print(f"{workload:<14s}{cells}")
-    means = suite_geomeans(table)
+    with warnings.catch_warnings():
+        # perf_common intentionally keeps the legacy aggregation helper
+        # (identical numbers); don't spam benchmark logs with its
+        # deprecation notice.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        means = suite_geomeans(table)
     print("--- suite geometric means ---")
     for suite, row in sorted(means.items()):
         cells = "".join(f"{row.get(m, float('nan')):>16.4f}" for m in mitigations)

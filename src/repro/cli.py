@@ -20,7 +20,10 @@ Commands:
 Mitigation and tracker choices are generated from
 :mod:`repro.registry`, so a newly registered design shows up here with
 no CLI change. Workload arguments accept both suite names (``gcc``)
-and workload-source strings (``trace:/path/to/run``) everywhere.
+and workload-source strings (``trace:/path/to/run``) everywhere. The
+simulation commands take ``--engine {scalar,batched,auto}``; engines
+are bit-identical, so the flag only trades wall-clock time (see
+:mod:`repro.sim.engine`).
 """
 
 from __future__ import annotations
@@ -38,7 +41,9 @@ from repro.dram.address import AddressMapper
 from repro.dram.config import DRAMOrganization
 from repro.registry import MITIGATIONS, TRACKERS
 from repro.sim import ExperimentSpec, SimulationParams, record_workload, run_grid
+from repro.sim.engine import ENGINE_NAMES
 from repro.sim.experiment import resolve_workload
+from repro.sim.simulator import default_engine
 from repro.workloads.columnar import ColumnarTrace
 from repro.workloads.sources import TraceWorkload
 from repro.workloads.suites import ALL_WORKLOADS, PROFILES
@@ -64,10 +69,12 @@ def _cmd_list_mitigations(args: argparse.Namespace) -> int:
     print("mitigations:")
     for info in MITIGATIONS:
         rate = f"rate {info.default_swap_rate:g}" if info.default_swap_rate else "no swap rate"
-        print(f"  {info.name:<14s}{rate:<14s}{info.description}")
+        batch = "batchable" if info.supports_batching else ""
+        print(f"  {info.name:<14s}{rate:<14s}{batch:<11s}{info.description}")
     print("trackers:")
     for tracker in TRACKERS:
-        print(f"  {tracker.name:<14s}{'':<14s}{tracker.description}")
+        batch = "batchable" if tracker.supports_batching else ""
+        print(f"  {tracker.name:<14s}{'':<14s}{batch:<11s}{tracker.description}")
     return 0
 
 
@@ -78,6 +85,7 @@ def _params_from_args(args: argparse.Namespace, trh: Optional[int] = None) -> Si
         requests_per_core=args.requests,
         time_scale=args.time_scale,
         tracker=args.tracker,
+        engine=args.engine,
     )
 
 
@@ -264,6 +272,13 @@ def _add_sim_options(
         default="misra-gries",
         choices=tracker_names,
         help="registered aggressor-row tracker",
+    )
+    parser.add_argument(
+        "--engine",
+        default=default_engine(),
+        choices=list(ENGINE_NAMES),
+        help="simulation engine; engines are bit-identical, 'auto' "
+             "batches where the mitigation supports it",
     )
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: CPU count)")

@@ -117,13 +117,60 @@ class MemorySystem:
             self._next_window_end += self._window
 
     # ------------------------------------------------------------------
-    # request paths
+    # request paths, decomposed into engine stages
+    #
+    # Every demand request flows through the same staged pipeline:
+    #
+    #   route    -- window roll, bank/mitigation lookup (`_locate`), and
+    #               the pin filter (`_absorb_in_llc`)
+    #   service  -- refresh alignment + RIT resolve + the bank state
+    #               machine (`_service`)
+    #   transfer -- channel data-bus serialization (`_bus_transfer`)
+    #   observe  -- tracker notification, which may trigger swaps
+    #               (the tail of `_service`)
+    #
+    # Reads run all four stages inline; writes stop after `route` (they
+    # post into the channel write queue) and replay service/transfer/
+    # observe later when the queue drains by watermark. The simulation
+    # engines (`repro.sim.engine`) drive these stages; the batched
+    # engine additionally fuses the stages for spans the mitigation
+    # declares quiescent via `Mitigation.batch_horizon`.
+
+    def _locate(self, channel: int, rank: int, bank: int):
+        """Route stage: flat bank index plus its mitigation engine."""
+        index = self.bank_index(channel, rank, bank)
+        return index, self.mitigations[index]
+
+    def _absorb_in_llc(self, mitigation: Mitigation, row: int) -> bool:
+        """Route stage, pin filter: Scale-SRS-pinned rows are LLC hits."""
+        if mitigation.is_pinned(row):
+            self.llc_hits_from_pins += 1
+            return True
+        return False
 
     def _bus_transfer(self, channel: int, ready: float) -> float:
+        """Transfer stage: serialize a burst on the channel data bus."""
         t_bl = self.config.timing.t_bl
         start = max(ready, self._bus_free[channel])
         self._bus_free[channel] = start + t_bl
         return start + t_bl
+
+    def _service(
+        self,
+        channel: int,
+        index: int,
+        mitigation: Mitigation,
+        start: float,
+        row: int,
+        is_write: bool = False,
+    ):
+        """Service/transfer/observe stages for one access to one bank."""
+        physical = mitigation.resolve(row)
+        result = self._banks[index].access(start, physical, is_write=is_write)
+        completion = self._bus_transfer(channel, result.finish)
+        if result.activated:
+            mitigation.on_activation(result.finish, row)
+        return result, completion
 
     def read(
         self, time: float, channel: int, rank: int, bank: int, row: int, column: int = 0
@@ -131,26 +178,18 @@ class MemorySystem:
         """Service a demand read; returns its completion time."""
         self._roll_windows(time)
         self.reads += 1
-        index = self.bank_index(channel, rank, bank)
-        mitigation = self.mitigations[index]
+        index, mitigation = self._locate(channel, rank, bank)
         mitigation.tick(time)
-        if mitigation.is_pinned(row):
-            self.llc_hits_from_pins += 1
+        if self._absorb_in_llc(mitigation, row):
             return MemoryRequestOutcome(
                 completion=time + self.config.llc_latency_ns,
                 row_hit=False,
                 served_by_llc=True,
             )
-        write_queue = self.write_queues[channel]
-        if write_queue.needs_drain:
+        if self.write_queues[channel].needs_drain:
             self._drain_writes(channel, time)
-        physical = mitigation.resolve(row)
-        bank_obj = self._banks[index]
         start = self.channels[channel].ranks[rank].adjusted_start(time)
-        result = bank_obj.access(start, physical)
-        completion = self._bus_transfer(channel, result.finish)
-        if result.activated:
-            mitigation.on_activation(result.finish, row)
+        result, completion = self._service(channel, index, mitigation, start, row)
         return MemoryRequestOutcome(
             completion=completion, row_hit=result.row_hit, served_by_llc=False
         )
@@ -161,10 +200,8 @@ class MemorySystem:
         """Post a write into the channel's write queue."""
         self._roll_windows(time)
         self.writes += 1
-        index = self.bank_index(channel, rank, bank)
-        mitigation = self.mitigations[index]
-        if mitigation.is_pinned(row):
-            self.llc_hits_from_pins += 1
+        index, mitigation = self._locate(channel, rank, bank)
+        if self._absorb_in_llc(mitigation, row):
             return
         queue = self.write_queues[channel]
         if queue.is_full:
@@ -173,13 +210,10 @@ class MemorySystem:
 
     def _drain_writes(self, channel: int, time: float, to_empty: bool = False) -> None:
         def issue(write: PendingWrite) -> None:
-            mitigation = self.mitigations[write.bank_index]
-            physical = mitigation.resolve(write.row)
-            bank_obj = self._banks[write.bank_index]
-            result = bank_obj.access(max(time, write.arrival), physical, is_write=True)
-            self._bus_transfer(channel, result.finish)
-            if result.activated:
-                mitigation.on_activation(result.finish, write.row)
+            self._service(
+                channel, write.bank_index, self.mitigations[write.bank_index],
+                max(time, write.arrival), write.row, is_write=True,
+            )
 
         self.write_queues[channel].drain(issue, to_empty=to_empty)
 
@@ -226,7 +260,5 @@ class MemorySystem:
         """Highest per-location activation count seen in any window."""
         peak = 0
         for bank in self._banks:
-            peak = max(peak, bank.stats.max_count())
-            for record in bank.stats.history:
-                peak = max(peak, record.max_row_activations)
+            peak = max(peak, bank.stats.peak_row_activations())
         return peak

@@ -9,13 +9,16 @@ latency. This is the standard USIMM/DDR write-drain policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, NamedTuple
 
 
-@dataclass(frozen=True)
-class PendingWrite:
-    """A buffered write: target coordinates plus arrival time."""
+class PendingWrite(NamedTuple):
+    """A buffered write: target coordinates plus arrival time.
+
+    A ``NamedTuple`` rather than a dataclass: one is built per posted
+    write on the simulation hot path, and tuple construction skips the
+    per-field ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     arrival: float
     bank_index: int

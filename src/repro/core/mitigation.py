@@ -121,6 +121,25 @@ class Mitigation(abc.ABC):
     def tick(self, time: float) -> None:
         """Advance lazy background work up to ``time``."""
 
+    def batch_horizon(self) -> int:
+        """Demand accesses the controller may service without consulting
+        this mitigation per access.
+
+        Returns ``k`` with the following contract: for the next ``k``
+        demand accesses to this bank (any rows), :meth:`resolve` is the
+        identity, :meth:`is_pinned` is ``False``, :meth:`tick` is a
+        no-op, and :meth:`on_activation` is exactly ``tracker.observe``
+        (no trigger, no tracker DRAM traffic, no bank occupation) — so a
+        batched engine may service those accesses on a fused fast path
+        and commit the activations afterwards with
+        ``tracker.observe_batch``. The base implementation returns 0:
+        every access takes the scalar path. Designs whose quiescent
+        state is provable (no live swaps, no pins, a tracker with a
+        positive :meth:`~repro.trackers.base.Tracker.batch_horizon`)
+        override it.
+        """
+        return 0
+
     def end_window(self, time: float) -> None:
         """Refresh-window boundary: reset tracker and epoch state."""
         if self.tracker is not None:
@@ -135,10 +154,15 @@ class Mitigation(abc.ABC):
     description="no mitigation (not secure); the normalization reference",
     uses_tracker=False,
     is_baseline=True,
+    supports_batching=True,
     builder=lambda ctx: BaselineMitigation(ctx.bank),
 )
 class BaselineMitigation(Mitigation):
     """The not-secure baseline: observes activations, never mitigates."""
+
+    #: Horizon reported when there is no tracker to bound (effectively
+    #: unlimited; the engine re-checks at every span boundary anyway).
+    UNBOUNDED_HORIZON = 1 << 62
 
     def __init__(self, bank: Bank, tracker: Optional[Tracker] = None, keep_events: bool = False):
         super().__init__(bank, tracker, keep_events)
@@ -147,3 +171,10 @@ class BaselineMitigation(Mitigation):
         if self.tracker is not None:
             self.tracker.observe(row)
         return time
+
+    def batch_horizon(self) -> int:
+        """Never mitigates, never pins, never remaps: the horizon is the
+        tracker's (unlimited without one)."""
+        if self.tracker is None:
+            return self.UNBOUNDED_HORIZON
+        return self.tracker.batch_horizon()

@@ -21,6 +21,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional, Tuple
 
+import numpy as np
+
 from repro.dram.config import SystemConfig
 
 
@@ -62,13 +64,56 @@ class TraceCore:
 
     def advance_gap(self, gap: int) -> float:
         """Consume ``gap`` non-memory instructions plus the memory
-        instruction itself; returns the core time the access issues at."""
+        instruction itself; returns the core time the access issues at.
+
+        Mirrored (with :meth:`_respect_rob_window`) by the batched
+        engine's fused loop; keep the arithmetic in sync with
+        :meth:`gap_deltas`.
+        """
         if gap < 0:
             raise ValueError("gap must be non-negative")
         self.instructions += gap + 1
         self.clock_ns += (gap / self.config.fetch_width + 1.0) * self.cycle_ns
         self._respect_rob_window()
         return self.clock_ns
+
+    def gap_deltas(self, gaps: np.ndarray) -> np.ndarray:
+        """Per-access clock advances for an array of instruction gaps.
+
+        Element ``i`` is exactly the amount :meth:`advance_gap` would add
+        to the clock for ``gaps[i]`` (same IEEE-754 operations, so the
+        values are bit-identical to the scalar path). The batched
+        simulation engine precomputes these once per trace instead of
+        redoing the division per access.
+        """
+        return (
+            np.asarray(gaps, dtype=np.float64) / self.config.fetch_width + 1.0
+        ) * self.cycle_ns
+
+    def advance_many(self, gaps: np.ndarray) -> np.ndarray:
+        """Array-friendly :meth:`advance_gap` over a run of accesses.
+
+        Requires no loads in flight: with an empty pending queue the ROB
+        window cannot stall, so the whole run reduces to a cumulative sum
+        of :meth:`gap_deltas`. Uses ``np.add.accumulate`` seeded with the
+        current clock, whose sequential pairwise adds are bit-identical
+        to calling :meth:`advance_gap` in a loop. Returns the per-access
+        issue times; the core's clock and instruction count advance past
+        the run.
+        """
+        if self._pending:
+            raise ValueError("advance_many requires no loads in flight")
+        gaps = np.asarray(gaps)
+        if len(gaps) == 0:
+            return np.empty(0, dtype=np.float64)
+        if int(gaps.min()) < 0:
+            raise ValueError("gap must be non-negative")
+        issues = np.add.accumulate(
+            np.concatenate(([self.clock_ns], self.gap_deltas(gaps)))
+        )[1:]
+        self.instructions += int(gaps.sum()) + len(gaps)
+        self.clock_ns = float(issues[-1])
+        return issues
 
     def _respect_rob_window(self) -> None:
         """Stall on the oldest load once the ROB (or MSHRs) would overflow."""

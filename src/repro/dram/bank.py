@@ -35,16 +35,31 @@ class ActivationStats:
     The window boundary is aligned to multiples of ``refresh_window``; this
     matches the paper's model in which tracker state and the attack budget
     reset each 64 ms epoch.
+
+    Closed windows fold into O(1) running aggregates
+    (:attr:`windows_closed`, :attr:`closed_total_activations`,
+    :attr:`closed_max_row_activations`) so long simulations do not grow
+    one record per bank per window. Pass ``keep_history=True`` to retain
+    the full per-window :class:`WindowRecord` list in :attr:`history`
+    (tests and security harnesses that inspect individual windows).
     """
 
-    def __init__(self, refresh_window: float):
+    def __init__(self, refresh_window: float, keep_history: bool = False):
         if refresh_window <= 0:
             raise ValueError("refresh_window must be positive")
         self.refresh_window = refresh_window
+        self.keep_history = keep_history
         self._counts: Counter = Counter()
         self._window_index = 0
+        #: Per-window records; populated only with ``keep_history=True``.
         self.history: List[WindowRecord] = []
         self.lifetime_activations = 0
+        #: Number of refresh windows already closed.
+        self.windows_closed = 0
+        #: Sum of activations over all closed windows.
+        self.closed_total_activations = 0
+        #: Peak per-row activation count seen in any closed window.
+        self.closed_max_row_activations = 0
 
     @property
     def window_index(self) -> int:
@@ -56,25 +71,27 @@ class ActivationStats:
             self._window_index += 1
 
     def _finalize_current(self) -> None:
-        if self._counts:
-            hottest, hottest_count = max(self._counts.items(), key=lambda kv: kv[1])
-            record = WindowRecord(
-                window_index=self._window_index,
-                total_activations=sum(self._counts.values()),
-                max_row_activations=hottest_count,
-                hottest_row=hottest,
-                rows_activated=len(self._counts),
-            )
+        counts = self._counts
+        if counts:
+            hottest, hottest_count = max(counts.items(), key=lambda kv: kv[1])
+            total = sum(counts.values())
         else:
-            record = WindowRecord(
-                window_index=self._window_index,
-                total_activations=0,
-                max_row_activations=0,
-                hottest_row=None,
-                rows_activated=0,
+            hottest, hottest_count, total = None, 0, 0
+        self.windows_closed += 1
+        self.closed_total_activations += total
+        if hottest_count > self.closed_max_row_activations:
+            self.closed_max_row_activations = hottest_count
+        if self.keep_history:
+            self.history.append(
+                WindowRecord(
+                    window_index=self._window_index,
+                    total_activations=total,
+                    max_row_activations=hottest_count,
+                    hottest_row=hottest,
+                    rows_activated=len(counts),
+                )
             )
-        self.history.append(record)
-        self._counts.clear()
+        counts.clear()
 
     def record(self, row: int, time: float) -> int:
         """Record one ACT on ``row`` at ``time``; returns the new count."""
@@ -108,11 +125,13 @@ class ActivationStats:
         """Close out all windows up to and including the one at ``time``."""
         self._roll_to(int(time // self.refresh_window) + 1)
 
+    def peak_row_activations(self) -> int:
+        """Highest per-row count in any window so far (closed or current)."""
+        return max(self.closed_max_row_activations, self.max_count())
+
     def ever_exceeded(self, threshold: int) -> bool:
         """True if any row crossed ``threshold`` in any window so far."""
-        if any(rec.max_row_activations >= threshold for rec in self.history):
-            return True
-        return self.max_count() >= threshold
+        return self.peak_row_activations() >= threshold
 
 
 @dataclass(slots=True)
@@ -139,6 +158,7 @@ class Bank:
         num_rows: int,
         timing: Optional[DRAMTiming] = None,
         policy: PagePolicy = PagePolicy.CLOSED,
+        keep_history: bool = False,
     ):
         if num_rows <= 0:
             raise ValueError("num_rows must be positive")
@@ -148,7 +168,12 @@ class Bank:
         self.open_row: Optional[int] = None
         self.busy_until: float = 0.0
         self.last_act_time: float = float("-inf")
-        self.stats = ActivationStats(self.timing.refresh_window)
+        # keep_history retains per-window WindowRecords (security
+        # harnesses inspecting individual windows); the default folds
+        # closed windows into O(1) aggregates.
+        self.stats = ActivationStats(
+            self.timing.refresh_window, keep_history=keep_history
+        )
         self.total_accesses = 0
         self.row_hits = 0
 
@@ -187,7 +212,13 @@ class Bank:
         return self.busy_until
 
     def access(self, time: float, row: int, is_write: bool = False) -> AccessResult:
-        """Service one column access to ``row`` arriving at ``time``."""
+        """Service one column access to ``row`` arriving at ``time``.
+
+        The batched engine (``repro.sim.engine.batched``) replicates this
+        state machine expression-for-expression on its fused fast path;
+        timing changes here must be mirrored there (the engine
+        equivalence tests catch any divergence bit-exactly).
+        """
         self._check_row(row)
         t = self.timing
         self.total_accesses += 1

@@ -45,7 +45,11 @@ class RefreshScheduler:
         return phase < self.timing.t_rfc
 
     def delay_through(self, time: float) -> float:
-        """Earliest instant at or after ``time`` not inside a refresh."""
+        """Earliest instant at or after ``time`` not inside a refresh.
+
+        Mirrored expression-for-expression by the batched engine's fused
+        loop (``repro.sim.engine.batched``).
+        """
         if self.in_refresh(time):
             k = int(time // self.timing.t_refi)
             self.refreshes_applied += 1

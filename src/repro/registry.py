@@ -87,7 +87,15 @@ class MitigationBuildContext:
 
 @dataclass(frozen=True)
 class MitigationInfo:
-    """Registry record for one mitigation design."""
+    """Registry record for one mitigation design.
+
+    ``supports_batching`` declares that the design implements the
+    :meth:`~repro.core.mitigation.Mitigation.batch_horizon` contract well
+    enough for the batched simulation engine to be worthwhile; designs
+    that leave it ``False`` still run correctly under ``--engine
+    batched`` (every access falls through to the scalar path) but
+    ``--engine auto`` selects the scalar engine for them.
+    """
 
     name: str
     cls: type
@@ -96,6 +104,7 @@ class MitigationInfo:
     default_swap_rate: Optional[float] = None
     uses_tracker: bool = True
     is_baseline: bool = False
+    supports_batching: bool = False
 
 
 @dataclass(frozen=True)
@@ -122,12 +131,16 @@ class TrackerInfo:
 
     ``builder(threshold, timing)`` must return a tracker sized securely
     for that trigger threshold under the given :class:`DRAMTiming`.
+    ``supports_batching`` declares that the tracker implements a useful
+    :meth:`~repro.trackers.base.Tracker.batch_horizon` (Hydra cannot: any
+    observation may miss its counter cache and cost DRAM accesses).
     """
 
     name: str
     cls: type
     builder: Callable[[int, Any], Any]
     description: str = ""
+    supports_batching: bool = False
 
 
 class Registry(Generic[T]):
@@ -216,6 +229,7 @@ def register_mitigation(
     default_swap_rate: Optional[float] = None,
     uses_tracker: bool = True,
     is_baseline: bool = False,
+    supports_batching: bool = False,
 ) -> Callable[[type], type]:
     """Class decorator registering a mitigation design.
 
@@ -230,6 +244,9 @@ def register_mitigation(
         uses_tracker: Whether a per-bank tracker should be built and
             handed to the builder.
         is_baseline: Marks the no-mitigation reference design.
+        supports_batching: The design implements a useful
+            :meth:`~repro.core.mitigation.Mitigation.batch_horizon`, so
+            ``--engine auto`` may pick the batched engine for it.
     """
 
     def decorate(cls: type) -> type:
@@ -243,6 +260,7 @@ def register_mitigation(
                 default_swap_rate=default_swap_rate,
                 uses_tracker=uses_tracker,
                 is_baseline=is_baseline,
+                supports_batching=supports_batching,
             ),
         )
         return cls
@@ -255,17 +273,26 @@ def register_tracker(
     *,
     builder: Callable[[int, Any], Any],
     description: str = "",
+    supports_batching: bool = False,
 ) -> Callable[[type], type]:
     """Class decorator registering a tracker.
 
     ``builder(threshold, timing)`` sizes and builds the tracker for a
-    trigger threshold under the given timing.
+    trigger threshold under the given timing. ``supports_batching``
+    declares a useful :meth:`~repro.trackers.base.Tracker.batch_horizon`
+    (see :class:`TrackerInfo`).
     """
 
     def decorate(cls: type) -> type:
         TRACKERS.add(
             name,
-            TrackerInfo(name=name, cls=cls, builder=builder, description=description),
+            TrackerInfo(
+                name=name,
+                cls=cls,
+                builder=builder,
+                description=description,
+                supports_batching=supports_batching,
+            ),
         )
         return cls
 

@@ -18,6 +18,14 @@ per-core streams to replayable USIMM files. The legacy helpers
 remain as deprecated shims over the same engine.
 """
 
+from repro.sim.engine import (
+    ENGINE_NAMES,
+    BatchedEngine,
+    Engine,
+    ScalarEngine,
+    make_engine,
+    resolve_engine_name,
+)
 from repro.sim.experiment import (
     ExperimentCell,
     ExperimentSpec,
@@ -45,6 +53,12 @@ from repro.sim.runner import (
 from repro.sim.simulator import PerformanceSimulation, SimulationParams
 
 __all__ = [
+    "ENGINE_NAMES",
+    "Engine",
+    "BatchedEngine",
+    "ScalarEngine",
+    "make_engine",
+    "resolve_engine_name",
     "ExperimentCell",
     "ExperimentSpec",
     "ResultSet",

@@ -1,0 +1,78 @@
+"""The engine interface and the shared per-access service step.
+
+An *engine* is the component that interleaves every core's trace through
+the memory system in global time order. Two implementations exist behind
+this interface:
+
+- :class:`~repro.sim.engine.scalar.ScalarEngine` — the reference
+  implementation: one heap pop, one access, one heap push.
+- :class:`~repro.sim.engine.batched.BatchedEngine` — pre-decodes each
+  trace into arrays, partitions it into provably non-interacting *spans*,
+  and services eligible spans on a fused fast path.
+
+Both produce bit-identical :class:`~repro.sim.results.SimulationResult`
+values — the batched engine is a faster schedule of the same arithmetic,
+never a different model (enforced by ``tests/test_engine_equivalence.py``).
+
+The :func:`service_access` step below is the single source of truth for
+what servicing one trace record means; the scalar engine calls it for
+every access and the batched engine calls it for every access that falls
+off the fast path.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.controller.memory_system import MemorySystem
+from repro.cpu.core import TraceCore
+from repro.workloads.columnar import ColumnarTrace
+
+
+def service_access(
+    memory: MemorySystem, core: TraceCore, trace: ColumnarTrace, position: int
+) -> None:
+    """Service one trace record: advance the core, dispatch to memory.
+
+    This is the scalar per-access step both engines share. Reads block
+    the core's ROB window on their completion time; writes are posted.
+    """
+    issue = core.advance_gap(int(trace.gaps[position]))
+    channel = int(trace.channel[position])
+    rank = int(trace.rank[position])
+    bank = int(trace.bank[position])
+    row = int(trace.row[position])
+    column = int(trace.column[position])
+    if trace.is_write[position]:
+        memory.write(issue, channel, rank, bank, row, column)
+        core.issue_write()
+    else:
+        outcome = memory.read(issue, channel, rank, bank, row, column)
+        core.issue_read(outcome.completion)
+
+
+class Engine(abc.ABC):
+    """Drives every core's access stream through the memory system.
+
+    Engines own only the *interleaving schedule*; all simulated state
+    lives in the cores, the banks, and the memory system, so engines are
+    stateless and interchangeable per run.
+    """
+
+    #: CLI/registry name of the engine implementation.
+    name: str = ""
+
+    @abc.abstractmethod
+    def drive(
+        self,
+        cores: List[TraceCore],
+        traces: List[ColumnarTrace],
+        memory: MemorySystem,
+    ) -> None:
+        """Consume every trace to exhaustion in global time order.
+
+        ``cores`` and ``traces`` are parallel lists indexed by core id.
+        On return every access of every trace has been serviced; the
+        caller drains cores and finalizes the memory system.
+        """

@@ -1,0 +1,606 @@
+"""The batched engine: pre-decoded traces plus a fused scheduling loop.
+
+The scalar engine pays interpreter overhead per access: seven numpy
+scalar conversions and roughly a dozen method calls (window roll, tick,
+pin check, resolve, refresh alignment, bank state machine, bus transfer,
+tracker observe). This engine removes that overhead by pre-decoding
+every trace to plain Python lists once (vectorized ``tolist`` /
+``gap_deltas``) and running a *fused* loop that keeps all bank, bus, and
+core state in hoisted parallel arrays — servicing *spans* of consecutive
+accesses without touching a single simulated object. Every expression in
+the fused loop replicates the scalar path's IEEE-754 operations in the
+same order, so results are bit-identical: this is a faster schedule of
+the same arithmetic, never a different model (enforced by
+``tests/test_engine_equivalence.py``).
+
+A *span* is the maximal run of accesses the fused loop services before
+simulated-object state has to be consulted. Four events end one:
+
+- a **write-queue drain** (high watermark reached by a read, full queue
+  hit by a write): draining occupies banks through the full
+  ``MemorySystem._drain_writes`` path, so hoisted state is written back
+  around it;
+- a **refresh-window boundary**: window rolls reset trackers and may
+  unleash epoch bursts, so the boundary-crossing access is serviced
+  through the full ``MemorySystem.read``/``write`` path;
+- **mitigation-horizon exhaustion**: the fused loop runs only while
+  every bank's mitigation declares quiescence through
+  :meth:`~repro.core.mitigation.Mitigation.batch_horizon` (no pins, no
+  swaps, identity RIT, silent tracker). Pending tracker observations are
+  committed in order via ``Tracker.observe_batch`` and the horizon
+  recomputed; if it stays 0, accesses are serviced on the scalar step
+  until the next refresh-window roll resets tracker state, where fused
+  eligibility is re-evaluated;
+- **trace exhaustion / core switch**: the scalar engine's heap protocol
+  is preserved exactly — a span is cut the instant another core's clock
+  becomes earlier — so the global core interleaving is identical.
+
+Mitigations that decline to implement a horizon (all swap designs, for
+now) and Hydra-tracked banks therefore run access-by-access through the
+same calls the scalar engine makes — correct under this engine from day
+one, just not faster. The fast path assumes well-formed traces (rows in
+range, non-negative gaps); the scalar path's defensive checks are the
+ones that would catch malformed input.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.controller.memory_system import MemorySystem
+from repro.controller.queues import PendingWrite
+from repro.cpu.core import TraceCore
+from repro.dram.commands import PagePolicy
+from repro.sim.engine.base import Engine
+from repro.workloads.columnar import ColumnarTrace
+
+
+class _DecodedTrace:
+    """One core's trace pre-decoded to plain Python lists.
+
+    Indexing a numpy array returns a numpy scalar whose conversion to a
+    Python number dominates the scalar hot loop; one vectorized
+    ``tolist`` per column turns every subsequent access into a plain
+    list index. ``deltas`` carries the per-access core-clock advance
+    (see :meth:`~repro.cpu.core.TraceCore.gap_deltas`) and
+    ``bank_index`` the flat bank number of every access.
+    """
+
+    __slots__ = (
+        "length", "gaps", "is_write", "channel", "rank", "bank", "row",
+        "column", "bank_index", "deltas",
+    )
+
+    def __init__(self, trace: ColumnarTrace, core: TraceCore, memory: MemorySystem):
+        org = memory.config.organization
+        self.length = len(trace)
+        self.gaps = trace.gaps.tolist()
+        self.is_write = trace.is_write.tolist()
+        self.channel = trace.channel.tolist()
+        self.rank = trace.rank.tolist()
+        self.bank = trace.bank.tolist()
+        self.row = trace.row.tolist()
+        self.column = trace.column.tolist()
+        bank_index = (
+            trace.channel.astype(np.int64) * org.ranks_per_channel
+            + trace.rank
+        ) * org.banks_per_rank + trace.bank
+        self.bank_index = bank_index.tolist()
+        self.deltas = core.gap_deltas(trace.gaps).tolist()
+
+
+class BatchedEngine(Engine):
+    """Fused-loop engine with hoisted bank/bus/core state.
+
+    Attributes:
+        counters: Span accounting of the last :meth:`drive` — how many
+            accesses ran fused (``fast_accesses``) vs. through the
+            scalar step (``scalar_accesses``), and which events cut
+            spans (``drains``, ``window_rolls``, ``horizon_refreshes``).
+            Tests use it to prove the fast path actually engaged.
+    """
+
+    name = "batched"
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {
+            "fast_accesses": 0,
+            "scalar_accesses": 0,
+            "drains": 0,
+            "window_rolls": 0,
+            "horizon_refreshes": 0,
+            "fused_entries": 0,
+        }
+
+    # ------------------------------------------------------------------
+
+    def drive(
+        self,
+        cores: List[TraceCore],
+        traces: List[ColumnarTrace],
+        memory: MemorySystem,
+    ) -> None:
+        """Heap-schedule cores, fusing whenever the horizon allows.
+
+        While every bank's mitigation declares a positive batch horizon,
+        the fused loop runs. When some horizon is 0 — a tracker ceiling
+        saturated, or a design that never batches — accesses are
+        serviced on the scalar step *until the next refresh-window
+        roll*: window ends reset tracker state (and with it the
+        ceilings horizons are computed from), so fused eligibility is
+        re-evaluated there instead of being forfeited for the rest of
+        the run.
+        """
+        self.counters = {key: 0 for key in self.counters}
+        decoded = [
+            _DecodedTrace(trace, core, memory)
+            for trace, core in zip(traces, cores)
+        ]
+        heap = [(0.0, core_id) for core_id in range(len(cores))]
+        heapq.heapify(heap)
+        positions = [0] * len(cores)
+        mitigations = memory.mitigations
+        while heap:
+            if min(m.batch_horizon() for m in mitigations) > 0:
+                self.counters["fused_entries"] += 1
+                self._fused_loop(cores, decoded, memory, heap, positions)
+            else:
+                self._scalar_stretch(cores, decoded, memory, heap, positions)
+
+    # ------------------------------------------------------------------
+
+    def _scalar_stretch(
+        self,
+        cores: List[TraceCore],
+        decoded: List[_DecodedTrace],
+        memory: MemorySystem,
+        heap: list,
+        positions: List[int],
+    ) -> None:
+        """The scalar engine's loop over pre-decoded lists.
+
+        Same calls, same values, same heap protocol as
+        :class:`~repro.sim.engine.scalar.ScalarEngine` (only the numpy
+        scalar conversions are gone), so it is bit-identical by
+        construction. Returns at the first refresh-window roll (so the
+        driver can re-check fused eligibility) or when every trace is
+        consumed.
+        """
+        counters = self.counters
+        boundary = memory._next_window_end
+        while heap:
+            _, core_id = heapq.heappop(heap)
+            pos = positions[core_id]
+            dec = decoded[core_id]
+            if pos >= dec.length:
+                continue
+            core = cores[core_id]
+            issue = core.advance_gap(dec.gaps[pos])
+            if dec.is_write[pos]:
+                memory.write(
+                    issue, dec.channel[pos], dec.rank[pos], dec.bank[pos],
+                    dec.row[pos], dec.column[pos],
+                )
+                core.issue_write()
+            else:
+                outcome = memory.read(
+                    issue, dec.channel[pos], dec.rank[pos], dec.bank[pos],
+                    dec.row[pos], dec.column[pos],
+                )
+                core.issue_read(outcome.completion)
+            counters["scalar_accesses"] += 1
+            positions[core_id] = pos + 1
+            if pos + 1 < dec.length:
+                heapq.heappush(heap, (core.clock_ns, core_id))
+            if memory._next_window_end != boundary:
+                return
+
+    # ------------------------------------------------------------------
+
+    def _fused_loop(
+        self,
+        cores: List[TraceCore],
+        decoded: List[_DecodedTrace],
+        memory: MemorySystem,
+        heap: list,
+        positions: List[int],
+    ) -> None:
+        """Service accesses with all simulated state hoisted to arrays.
+
+        State lives in parallel lists indexed by flat bank number,
+        channel, or core id; the simulated objects are consulted only at
+        span ends, bracketed by a full write-back (``sync_*``) and a
+        re-hoist. On return — horizon exhausted or every trace
+        consumed — all object state is synchronized and
+        ``heap``/``positions`` describe exactly where the driver must
+        resume.
+        """
+        counters = self.counters
+        timing = memory.config.timing
+        t_rc = timing.t_rc
+        t_rp = timing.t_rp
+        t_rcd = timing.t_rcd
+        t_cas = timing.t_cas
+        t_bl = timing.t_bl
+        t_refi = timing.t_refi
+        t_rfc = timing.t_rfc
+        refresh_window = timing.refresh_window
+        open_policy = memory.policy is PagePolicy.OPEN
+
+        banks = memory._banks
+        mitigations = memory.mitigations
+        num_banks = len(banks)
+        banks_per_rank = memory._banks_per_rank
+        queues = memory.write_queues
+        num_channels = len(queues)
+        qlists = [queue._queue for queue in queues]
+        capacity = [queue.capacity for queue in queues]
+        high_wm = [queue.high_watermark for queue in queues]
+        low_wm = [queue.low_watermark for queue in queues]
+
+        # Rank refresh schedulers, indexed by flat bank number.
+        rank_objs = [
+            rank for channel in memory.channels for rank in channel.ranks
+        ]
+        refreshers = [
+            rank_objs[index // banks_per_rank].refresh
+            for index in range(num_banks)
+        ]
+
+        # Hoisted per-bank state (parallel to `banks`).
+        busy = [0.0] * num_banks
+        last_act = [0.0] * num_banks
+        open_rows: List[Optional[int]] = [None] * num_banks
+        total_acc = [0] * num_banks
+        row_hits = [0] * num_banks
+        lifetime = [0] * num_banks
+        stats_objs = [bank.stats for bank in banks]
+        stat_counts = [stats._counts for stats in stats_objs]
+        stats_wi = [0] * num_banks
+        trackers = [m.tracker for m in mitigations]
+        any_tracker = any(tracker is not None for tracker in trackers)
+        observed: List[list] = [[] for _ in range(num_banks)]
+        refresh_delta = [0] * num_banks
+        # Hoisted per-channel / per-core state.
+        bus = [0.0] * num_channels
+        qlen = [0] * num_channels
+        enq_delta = [0] * num_channels
+        clocks = [core.clock_ns for core in cores]
+        instrs = [core.instructions for core in cores]
+        mreads = [core.memory_reads for core in cores]
+        mwrites = [core.memory_writes for core in cores]
+        pends = [core._pending for core in cores]
+        rob = cores[0].config.rob_size
+        max_outstanding = cores[0].max_outstanding
+        # Hoisted MemorySystem counters and window mirror.
+        reads = 0
+        writes = 0
+        next_window = memory._next_window_end
+
+        def hoist() -> None:
+            """Copy bank/bus/queue/window state into the hoisted arrays."""
+            nonlocal next_window
+            for b in range(num_banks):
+                bank = banks[b]
+                busy[b] = bank.busy_until
+                last_act[b] = bank.last_act_time
+                open_rows[b] = bank.open_row
+                total_acc[b] = bank.total_accesses
+                row_hits[b] = bank.row_hits
+                lifetime[b] = stats_objs[b].lifetime_activations
+                stats_wi[b] = stats_objs[b].window_index
+            for c in range(num_channels):
+                bus[c] = memory._bus_free[c]
+                qlen[c] = len(queues[c])
+            next_window = memory._next_window_end
+
+        def sync_banks() -> None:
+            """Write hoisted bank/bus/counter state back into the objects.
+
+            Pending tracker observations are committed first, in arrival
+            order per bank — tracker state is per bank, so this
+            reproduces the scalar interleaving exactly — because the
+            caller is about to run full-path code that may observe or
+            reset the same trackers.
+            """
+            nonlocal reads, writes
+            for b in range(num_banks):
+                rows = observed[b]
+                if rows:
+                    trackers[b].observe_batch(rows)
+                    observed[b] = []
+                bank = banks[b]
+                bank.busy_until = busy[b]
+                bank.last_act_time = last_act[b]
+                bank.open_row = open_rows[b]
+                bank.total_accesses = total_acc[b]
+                bank.row_hits = row_hits[b]
+                stats_objs[b].lifetime_activations = lifetime[b]
+                if refresh_delta[b]:
+                    refreshers[b].refreshes_applied += refresh_delta[b]
+                    refresh_delta[b] = 0
+            for c in range(num_channels):
+                memory._bus_free[c] = bus[c]
+                if enq_delta[c]:
+                    queues[c].total_enqueued += enq_delta[c]
+                    enq_delta[c] = 0
+            memory.reads += reads
+            memory.writes += writes
+            reads = 0
+            writes = 0
+
+        def sync_core(core_id: int) -> None:
+            """Write one core's hoisted counters back into the object."""
+            core = cores[core_id]
+            core.clock_ns = clocks[core_id]
+            core.instructions = instrs[core_id]
+            core.memory_reads = mreads[core_id]
+            core.memory_writes = mwrites[core_id]
+
+        def min_horizon() -> int:
+            """Accesses every mitigation tolerates without consultation."""
+            return min(m.batch_horizon() for m in mitigations)
+
+        hoist()
+        horizon_left = min_horizon()
+        fast = 0
+        while heap:
+            _, core_id = heapq.heappop(heap)
+            pos = positions[core_id]
+            dec = decoded[core_id]
+            length = dec.length
+            if pos >= length:
+                continue
+            gaps = dec.gaps
+            deltas = dec.deltas
+            is_write = dec.is_write
+            channels = dec.channel
+            bank_indices = dec.bank_index
+            rows_l = dec.row
+            cols_l = dec.column
+            clock = clocks[core_id]
+            instr = instrs[core_id]
+            pending = pends[core_id]
+            while True:
+                # --- TraceCore.advance_gap, inlined -------------------
+                instr += gaps[pos] + 1
+                clock += deltas[pos]
+                while pending and (
+                    pending[0][0] <= instr - rob
+                    or len(pending) >= max_outstanding
+                ):
+                    _, completion = pending.popleft()
+                    if completion > clock:
+                        clock = completion
+                write = is_write[pos]
+                ch = channels[pos]
+                need_full = clock >= next_window or horizon_left <= 0
+                if not need_full and qlen[ch] >= (
+                    capacity[ch] if write else high_wm[ch]
+                ):
+                    # Write-queue drain. Scalar order is roll (not due
+                    # here), counters, pin filter, drain, service; the
+                    # drain itself replays service/transfer/observe for
+                    # each buffered write, which inlines against the
+                    # hoisted arrays exactly like the read path (drained
+                    # writes skip refresh alignment, as in
+                    # MemorySystem._drain_writes).
+                    counters["drains"] += 1
+                    if horizon_left <= qlen[ch]:
+                        # Horizon may expire mid-drain: run it full-path.
+                        clocks[core_id] = clock
+                        instrs[core_id] = instr
+                        sync_core(core_id)
+                        sync_banks()
+                        memory._drain_writes(ch, clock)
+                        hoist()
+                        horizon_left = min_horizon()
+                        need_full = horizon_left <= 0
+                    else:
+                        qlist = qlists[ch]
+                        target = low_wm[ch]
+                        bus_ch = bus[ch]
+                        drained = 0
+                        while len(qlist) > target:
+                            pending_write = qlist.pop(0)
+                            b = pending_write.bank_index
+                            row = pending_write.row
+                            start = pending_write.arrival
+                            if clock > start:
+                                start = clock
+                            total_acc[b] += 1
+                            open_row = open_rows[b]
+                            if open_policy and open_row == row:
+                                row_hits[b] += 1
+                                held = busy[b]
+                                if held > start:
+                                    start = held
+                                finish = start + t_cas + t_bl
+                                busy[b] = finish
+                                activated = False
+                            else:
+                                held = busy[b]
+                                if held > start:
+                                    start = held
+                                earliest = last_act[b] + t_rc
+                                if earliest > start:
+                                    start = earliest
+                                if open_row is not None:
+                                    start += t_rp
+                                last_act[b] = start
+                                window = start // refresh_window
+                                if window > stats_wi[b]:
+                                    window = int(window)
+                                    stats_objs[b]._roll_to(window)
+                                    stats_wi[b] = window
+                                stat_counts[b][row] += 1
+                                lifetime[b] += 1
+                                finish = start + t_rcd + t_cas + t_bl
+                                if open_policy:
+                                    open_rows[b] = row
+                                    busy[b] = finish
+                                else:
+                                    open_rows[b] = None
+                                    closed = start + t_rc
+                                    busy[b] = finish if finish > closed else closed
+                                activated = True
+                            bus_ch = (finish if finish > bus_ch else bus_ch) + t_bl
+                            if activated and any_tracker and trackers[b] is not None:
+                                observed[b].append(row)
+                            drained += 1
+                        bus[ch] = bus_ch
+                        qlen[ch] = len(qlist)
+                        horizon_left -= drained
+                        queue = queues[ch]
+                        queue.total_drained += drained
+                        queue.drain_episodes += 1
+                if need_full:
+                    # Window roll, exhausted horizon, or both: write
+                    # everything back and service this access through
+                    # the full MemorySystem path (which rolls windows),
+                    # then re-evaluate the world.
+                    clocks[core_id] = clock
+                    instrs[core_id] = instr
+                    sync_core(core_id)
+                    sync_banks()
+                    if clock >= next_window:
+                        counters["window_rolls"] += 1
+                    else:
+                        counters["horizon_refreshes"] += 1
+                    core = cores[core_id]
+                    if write:
+                        memory.write(
+                            clock, ch, dec.rank[pos], dec.bank[pos],
+                            rows_l[pos], dec.column[pos],
+                        )
+                        core.issue_write()
+                    else:
+                        outcome = memory.read(
+                            clock, ch, dec.rank[pos], dec.bank[pos],
+                            rows_l[pos], dec.column[pos],
+                        )
+                        core.issue_read(outcome.completion)
+                    counters["scalar_accesses"] += 1
+                    pos += 1
+                    positions[core_id] = pos
+                    clock = clocks[core_id] = core.clock_ns
+                    mreads[core_id] = core.memory_reads
+                    mwrites[core_id] = core.memory_writes
+                    hoist()
+                    horizon_left = min_horizon()
+                    if pos < length:
+                        heapq.heappush(heap, (clock, core_id))
+                    if horizon_left <= 0:
+                        # Hand over to the driver (scalar until the
+                        # next window roll). Banks and counters were
+                        # synced above, but every *other* core's
+                        # hoisted clock/instruction state is still only
+                        # in the mirror arrays — write it all back
+                        # before handing over.
+                        for other in range(len(cores)):
+                            sync_core(other)
+                        counters["fast_accesses"] += fast
+                        return
+                    break
+                if write:
+                    # --- MemorySystem.write fast path -----------------
+                    # WriteQueue.enqueue, inlined (the queue cannot be
+                    # full here: the drain above just emptied it).
+                    writes += 1
+                    qlists[ch].append(
+                        PendingWrite(
+                            arrival=clock, bank_index=bank_indices[pos],
+                            row=rows_l[pos], column=cols_l[pos],
+                        )
+                    )
+                    enq_delta[ch] += 1
+                    qlen[ch] += 1
+                    mwrites[core_id] += 1
+                else:
+                    # --- MemorySystem.read fast path ------------------
+                    reads += 1
+                    b = bank_indices[pos]
+                    # RefreshScheduler.delay_through, inlined.
+                    start = clock
+                    if start % t_refi < t_rfc:
+                        refresh_delta[b] += 1
+                        start = int(start // t_refi) * t_refi + t_rfc
+                    row = rows_l[pos]
+                    total_acc[b] += 1
+                    open_row = open_rows[b]
+                    if open_policy and open_row == row:
+                        # Bank.access, OPEN row-hit arm.
+                        row_hits[b] += 1
+                        held = busy[b]
+                        if held > start:
+                            start = held
+                        finish = start + t_cas + t_bl
+                        busy[b] = finish
+                        activated = False
+                    else:
+                        # Bank.access, ACT arm (miss or closed page).
+                        held = busy[b]
+                        if held > start:
+                            start = held
+                        earliest = last_act[b] + t_rc
+                        if earliest > start:
+                            start = earliest
+                        if open_row is not None:
+                            start += t_rp
+                        last_act[b] = start
+                        # ActivationStats.record, inlined (the float
+                        # floor compares exactly against the int mirror).
+                        window = start // refresh_window
+                        if window > stats_wi[b]:
+                            window = int(window)
+                            stats_objs[b]._roll_to(window)
+                            stats_wi[b] = window
+                        stat_counts[b][row] += 1
+                        lifetime[b] += 1
+                        finish = start + t_rcd + t_cas + t_bl
+                        if open_policy:
+                            open_rows[b] = row
+                            busy[b] = finish
+                        else:
+                            open_rows[b] = None
+                            closed = start + t_rc
+                            busy[b] = finish if finish > closed else closed
+                        activated = True
+                    # MemorySystem._bus_transfer, inlined.
+                    held = bus[ch]
+                    completion = (finish if finish > held else held) + t_bl
+                    bus[ch] = completion
+                    if activated and any_tracker and trackers[b] is not None:
+                        observed[b].append(row)
+                    # TraceCore.issue_read, inlined.
+                    mreads[core_id] += 1
+                    pending.append((instr, completion))
+                fast += 1
+                horizon_left -= 1
+                pos += 1
+                if pos >= length:
+                    positions[core_id] = pos
+                    clocks[core_id] = clock
+                    instrs[core_id] = instr
+                    break
+                if heap:
+                    head = heap[0]
+                    head_clock = head[0]
+                    if clock > head_clock or (
+                        clock == head_clock and core_id > head[1]
+                    ):
+                        positions[core_id] = pos
+                        clocks[core_id] = clock
+                        instrs[core_id] = instr
+                        heapq.heappush(heap, (clock, core_id))
+                        break
+        # Every trace consumed inside the fused loop: one final
+        # write-back so the driver's drain/finalize stages (and the
+        # no-op scalar loop after us) see the true state.
+        counters["fast_accesses"] += fast
+        for core_id in range(len(cores)):
+            sync_core(core_id)
+        sync_banks()

@@ -1,0 +1,50 @@
+"""The scalar reference engine: one heap pop per access.
+
+This is the original :class:`PerformanceSimulation` loop, extracted
+verbatim. A min-heap keyed by each core's local clock picks the earliest
+core, services exactly one of its accesses through
+:func:`~repro.sim.engine.base.service_access`, and re-inserts the core.
+Every other engine is measured against this one: the differential test
+harness requires bit-identical results, and the perf baseline
+(``tools/bench_hotpath.py``) reports speedups relative to it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from repro.controller.memory_system import MemorySystem
+from repro.cpu.core import TraceCore
+from repro.sim.engine.base import Engine, service_access
+from repro.workloads.columnar import ColumnarTrace
+
+
+class ScalarEngine(Engine):
+    """Reference engine servicing one access per scheduling step."""
+
+    name = "scalar"
+
+    def drive(
+        self,
+        cores: List[TraceCore],
+        traces: List[ColumnarTrace],
+        memory: MemorySystem,
+    ) -> None:
+        """Global-time-ordered interleaving of cores: a heap keyed by
+        each core's local clock processes the earliest core next."""
+        num_cores = len(cores)
+        heap = [(0.0, core_id) for core_id in range(num_cores)]
+        heapq.heapify(heap)
+        positions = [0] * num_cores
+        while heap:
+            _, core_id = heapq.heappop(heap)
+            position = positions[core_id]
+            trace = traces[core_id]
+            if position >= len(trace):
+                continue
+            core = cores[core_id]
+            service_access(memory, core, trace, position)
+            positions[core_id] = position + 1
+            if position + 1 < len(trace):
+                heapq.heappush(heap, (core.clock_ns, core_id))

@@ -22,7 +22,8 @@ and the engine takes care of the rest:
   automatically and axis names are validated against the dataclass.
 - **Baseline deduplication**: a baseline run depends only on the
   workload and the non-mitigation parameters (cores, trace length, time
-  scale, seed, policy, bank geometry), so the engine runs exactly one
+  scale, seed, policy, bank geometry — not the simulation engine, which
+  is bit-identical by contract), so the engine runs exactly one
   baseline per unique combination instead of one per grid cell — a pure
   waste multiplier in the old ``compare_mitigations``-per-cell pattern.
 - **Parallel execution** fans cells out over a
@@ -62,6 +63,7 @@ from typing import (
 from repro.cpu.core import CoreResult
 from repro.dram.commands import PagePolicy
 from repro.registry import MITIGATIONS
+from repro.sim.engine import ENGINE_NAMES
 from repro.sim.results import (
     SimulationResult,
     geometric_mean,
@@ -78,9 +80,10 @@ WorkloadLike = Union[str, WorkloadSpec, Any]
 
 _PARAM_FIELDS = tuple(f.name for f in fields(SimulationParams))
 
-# Parameters that only matter once a mitigation engine exists; a baseline
-# simulation is identical across all of their values.
-_MITIGATION_ONLY_FIELDS = ("trh", "swap_rate", "tracker")
+# Parameters a baseline simulation is identical across: the mitigation
+# knobs (no mitigation engine exists to read them) and the simulation
+# engine (bit-identical by contract — see repro.sim.engine).
+_MITIGATION_ONLY_FIELDS = ("trh", "swap_rate", "tracker", "engine")
 
 BASELINE = "baseline"
 
@@ -154,7 +157,7 @@ class ExperimentSpec:
     replicates: int = 1
 
     def validate(self) -> None:
-        """Fail fast on unknown axes, workloads, or mitigation names."""
+        """Fail fast on unknown axes, workloads, mitigations, engines."""
         if not self.workloads:
             raise ValueError("an experiment needs at least one workload")
         if self.replicates < 1:
@@ -167,6 +170,11 @@ class ExperimentSpec:
                 )
             if not self.grid[axis]:
                 raise ValueError(f"grid axis {axis!r} has no values")
+        for engine in {self.base_params.engine, *self.grid.get("engine", ())}:
+            if engine not in ENGINE_NAMES:
+                raise ValueError(
+                    f"unknown engine {engine!r}; options: {ENGINE_NAMES}"
+                )
         for workload in self.workloads:
             resolve_workload(workload)
         for name in self.mitigations:
@@ -225,6 +233,10 @@ class ExperimentSpec:
 
         Derived from the workloads and grid directly — not from the
         mitigation cells — so a baseline-only experiment still runs.
+        The dedup key ignores the simulation engine (engines are
+        bit-identical), but the planned cell keeps the first-seen
+        cell's requested engine so ``--engine batched`` speeds the
+        baselines up too.
         """
         self.validate()
         baselines: Dict[Tuple[str, SimulationParams], ExperimentCell] = {}
@@ -233,7 +245,10 @@ class ExperimentSpec:
                 key = (workload, baseline_view(params))
                 if key not in baselines:
                     baselines[key] = ExperimentCell(
-                        workload, BASELINE, key[1], spec
+                        workload,
+                        BASELINE,
+                        replace(key[1], engine=params.engine),
+                        spec,
                     )
         return list(baselines.values())
 

@@ -13,11 +13,14 @@ a thin compatibility layer over :mod:`repro.sim.experiment`:
 
 New code should declare an :class:`~repro.sim.experiment.ExperimentSpec`
 and call :func:`~repro.sim.experiment.run_grid`, which parallelizes and
-deduplicates baselines.
+deduplicates baselines. Every helper here emits a
+:class:`DeprecationWarning` naming its replacement; the test suite's own
+legacy-path tests filter it.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.sim.experiment import (
@@ -34,6 +37,15 @@ from repro.workloads.suites import ALL_WORKLOADS
 _resolve = resolve_workload  # legacy private alias
 
 
+def _deprecated(name: str, replacement: str) -> None:
+    """Warn a legacy shim's caller toward the Experiment API."""
+    warnings.warn(
+        f"repro.sim.runner.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def run_workload(
     workload: WorkloadLike,
     mitigation: str,
@@ -45,6 +57,7 @@ def run_workload(
     Still accepts ad-hoc :class:`WorkloadSpec` objects that are not part
     of the named suite (the grid engine requires named workloads).
     """
+    _deprecated("run_workload", "PerformanceSimulation or run_grid")
     spec = resolve_workload(workload)
     return PerformanceSimulation(spec, mitigation, params or SimulationParams()).run()
 
@@ -60,9 +73,16 @@ def compare_mitigations(
     Deprecated: declare an :class:`ExperimentSpec` and use
     :func:`run_grid` for anything beyond a single point.
     """
+    _deprecated("compare_mitigations", "ExperimentSpec + run_grid")
     spec = resolve_workload(workload)
     names = list(dict.fromkeys([BASELINE, *mitigations]))
-    return {name: run_workload(spec, name, params) for name in names}
+    # Simulate directly rather than through the run_workload shim so the
+    # caller gets one warning for the API they actually used.
+    simulation_params = params or SimulationParams()
+    return {
+        name: PerformanceSimulation(spec, name, simulation_params).run()
+        for name in names
+    }
 
 
 def normalized_table(
@@ -78,6 +98,7 @@ def normalized_table(
     compatibility with historic call sites); use :func:`run_grid` and
     :meth:`ResultSet.normalized_table` to parallelize.
     """
+    _deprecated("normalized_table", "run_grid(...).normalized_table()")
     spec = ExperimentSpec(
         workloads=list(workloads),
         mitigations=list(mitigations),
@@ -90,7 +111,12 @@ def suite_geomeans(
     table: Dict[str, Dict[str, float]],
     suites: Optional[Dict[str, str]] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Aggregate a normalized table per suite plus an ``ALL`` row."""
+    """Aggregate a normalized table per suite plus an ``ALL`` row.
+
+    Deprecated: prefer :meth:`ResultSet.suite_geomeans`, which works on
+    the results themselves instead of a pre-normalized table.
+    """
+    _deprecated("suite_geomeans", "ResultSet.suite_geomeans()")
     suite_of = suites or {spec.name: spec.suite for spec in ALL_WORKLOADS}
     buckets: Dict[str, Dict[str, List[float]]] = {}
     for workload, row in table.items():
@@ -116,6 +142,7 @@ def sweep_trh(
     runs the baseline once for the whole sweep (the old implementation
     re-simulated it at every threshold).
     """
+    _deprecated("sweep_trh", 'run_grid with grid={"trh": [...]}')
     spec = ExperimentSpec(
         workloads=[workload],
         mitigations=[mitigation],

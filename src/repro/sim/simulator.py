@@ -1,7 +1,10 @@
-"""The end-to-end performance simulator.
+"""The end-to-end performance simulator (a thin driver over an engine).
 
-Wires trace-driven cores, the memory system, and a mitigation together
-and advances them in global time order. The paper runs 1 billion
+Wires trace-driven cores, the memory system, and a mitigation together,
+then hands the interleaving loop to a simulation *engine*
+(:mod:`repro.sim.engine`): ``scalar`` is the reference schedule,
+``batched`` the span-fused fast path, and ``auto`` picks per mitigation;
+all engines produce bit-identical results. The paper runs 1 billion
 instructions per core through USIMM; a pure-Python reproduction cannot,
 so the simulator supports *time scaling*: the refresh window and the Row
 Hammer thresholds are divided by ``time_scale``, which preserves the
@@ -12,8 +15,8 @@ same factor (see DESIGN.md's substitution table).
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 from typing import Any, List, Optional
 
 from repro.controller.memory_system import MemorySystem
@@ -22,8 +25,28 @@ from repro.cpu.core import TraceCore
 from repro.dram.commands import PagePolicy
 from repro.dram.config import DRAMOrganization, DRAMTiming, SystemConfig
 from repro.registry import MITIGATIONS
+from repro.sim.engine import ENGINE_NAMES, make_engine
 from repro.sim.factory import make_mitigation_factory
 from repro.sim.results import SimulationResult
+
+
+def default_engine() -> str:
+    """The engine used when parameters do not name one.
+
+    ``REPRO_ENGINE`` overrides the built-in ``scalar`` default so an
+    entire test tier or grid can be re-run under another engine without
+    touching call sites (CI's batched-equivalence smoke uses this).
+    A mistyped value fails here, at the first parameter construction,
+    instead of as a deep traceback mid-run (argparse never validates
+    string defaults against ``choices``).
+    """
+    engine = os.environ.get("REPRO_ENGINE", "scalar")
+    if engine not in ENGINE_NAMES:
+        raise ValueError(
+            f"REPRO_ENGINE={engine!r} is not a valid engine; "
+            f"options: {ENGINE_NAMES}"
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -44,6 +67,10 @@ class SimulationParams:
         policy: Row-buffer policy.
         rows_per_bank: Override to shrink banks (tests); ``None`` keeps
             the Table III 128K rows.
+        engine: Simulation engine (``scalar``, ``batched``, or ``auto``;
+            see :mod:`repro.sim.engine`). Engines are bit-identical —
+            this knob trades wall-clock, never numbers. Defaults to
+            ``scalar`` unless ``REPRO_ENGINE`` is set.
     """
 
     trh: int = 1200
@@ -55,6 +82,7 @@ class SimulationParams:
     seed: int = 2024
     policy: PagePolicy = PagePolicy.CLOSED
     rows_per_bank: Optional[int] = None
+    engine: str = field(default_factory=default_engine)
 
     def scaled_timing(self, base: Optional[DRAMTiming] = None) -> DRAMTiming:
         """Timing with the window *and* the mitigation latencies divided by
@@ -144,12 +172,19 @@ class PerformanceSimulation:
         )
         self.memory = MemorySystem(self.config, factory, policy=params.policy)
 
-    def run(self) -> SimulationResult:
+    def run(self, engine: Optional[Any] = None) -> SimulationResult:
         """Drive every core's trace through the memory system.
 
         Per-core access streams come from the workload source's
         ``arrays_for_core`` hook — synthetic generation and recorded
-        replay feed the identical loop below.
+        replay feed the identical engine. The interleaving itself is the
+        engine's job (:mod:`repro.sim.engine`); this driver builds the
+        cores, delegates, and assembles the result.
+
+        Args:
+            engine: Optional pre-built :class:`~repro.sim.engine.Engine`
+                instance overriding ``params.engine`` (tests use it to
+                inspect an engine's span counters after the run).
         """
         params = self.params
         cores: List[TraceCore] = []
@@ -162,34 +197,12 @@ class PerformanceSimulation:
             )
             cores.append(TraceCore(core_id, self.config))
 
-        # Global-time-ordered interleaving of cores: a heap keyed by each
-        # core's local clock processes the earliest core next.
-        heap = [(0.0, core_id) for core_id in range(params.num_cores)]
-        heapq.heapify(heap)
-        positions = [0] * params.num_cores
         memory = self.memory
-        while heap:
-            _, core_id = heapq.heappop(heap)
-            position = positions[core_id]
-            trace = traces[core_id]
-            if position >= len(trace):
-                continue
-            core = cores[core_id]
-            issue = core.advance_gap(int(trace.gaps[position]))
-            channel = int(trace.channel[position])
-            rank = int(trace.rank[position])
-            bank = int(trace.bank[position])
-            row = int(trace.row[position])
-            column = int(trace.column[position])
-            if trace.is_write[position]:
-                memory.write(issue, channel, rank, bank, row, column)
-                core.issue_write()
-            else:
-                outcome = memory.read(issue, channel, rank, bank, row, column)
-                core.issue_read(outcome.completion)
-            positions[core_id] = position + 1
-            if position + 1 < len(trace):
-                heapq.heappush(heap, (core.clock_ns, core_id))
+        if engine is None:
+            engine = make_engine(
+                params.engine, self.mitigation_name, params.tracker
+            )
+        engine.drive(cores, traces, memory)
 
         finish = 0.0
         for core in cores:

@@ -47,6 +47,33 @@ class Tracker(abc.ABC):
     def observe(self, row: int) -> TrackerObservation:
         """Record one activation of ``row``."""
 
+    def observe_batch(self, rows) -> None:
+        """Record a sequence of activations known not to trigger.
+
+        Semantically identical to calling :meth:`observe` once per row in
+        order — same final state, same ``observations`` bookkeeping. The
+        batched simulation engine uses it to commit a span's activations
+        in one call; callers must have bounded the span length with
+        :meth:`batch_horizon` first, so no observation in ``rows`` can
+        trigger or generate extra DRAM traffic.
+        """
+        observe = self.observe
+        for row in rows:
+            observe(row)
+
+    def batch_horizon(self) -> int:
+        """Observations guaranteed free of triggers and DRAM side traffic.
+
+        Returns ``k`` such that the next ``k`` calls to :meth:`observe`
+        (on *any* rows) are guaranteed to return ``triggered=False`` with
+        ``extra_dram_accesses == 0``. The base implementation returns 0
+        (no guarantee — every observation must go through the scalar
+        path); trackers whose state admits a cheap bound override it.
+        Hydra deliberately does not: any observation may miss its counter
+        cache and cost DRAM accesses, so its horizon is always 0.
+        """
+        return 0
+
     @abc.abstractmethod
     def reset_row(self, row: int) -> None:
         """Clear the count of ``row`` (called after its mitigation)."""
@@ -66,6 +93,7 @@ class Tracker(abc.ABC):
     "exact",
     description="idealised per-row counters (ground truth; not buildable)",
     builder=lambda threshold, timing: ExactTracker(threshold),
+    supports_batching=True,
 )
 class ExactTracker(Tracker):
     """Idealised tracker holding one counter per row.
@@ -78,9 +106,15 @@ class ExactTracker(Tracker):
     def __init__(self, threshold: int):
         super().__init__(threshold)
         self._counts: Dict[int, int] = {}
+        # Monotone (within a window) upper bound on every live count;
+        # deliberately not lowered by reset_row so batch_horizon stays a
+        # conservative O(1) computation.
+        self._ceiling = 0
 
     def observe(self, row: int) -> TrackerObservation:
         count = self._counts.get(row, 0) + 1
+        if count > self._ceiling:
+            self._ceiling = count
         triggered = count >= self.threshold
         if triggered:
             self._counts[row] = 0
@@ -90,6 +124,37 @@ class ExactTracker(Tracker):
             TrackerObservation(triggered=triggered, estimated_count=count)
         )
 
+    def observe_batch(self, rows) -> None:
+        """Bulk :meth:`observe` with hoisted state (bit-identical).
+
+        Any row that would trigger (a caller overran the horizon) is
+        delegated to :meth:`observe` so the trigger bookkeeping stays
+        exactly the scalar path's.
+        """
+        counts = self._counts
+        threshold = self.threshold
+        ceiling = self._ceiling
+        seen = 0
+        for row in rows:
+            count = counts.get(row, 0) + 1
+            if count >= threshold:
+                self.observations += seen
+                self._ceiling = ceiling
+                seen = 0
+                self.observe(row)
+                ceiling = self._ceiling
+                continue
+            counts[row] = count
+            if count > ceiling:
+                ceiling = count
+            seen += 1
+        self.observations += seen
+        self._ceiling = ceiling
+
+    def batch_horizon(self) -> int:
+        """``threshold - 1 - ceiling``: no count can trigger that soon."""
+        return max(0, self.threshold - 1 - self._ceiling)
+
     def count(self, row: int) -> int:
         return self._counts.get(row, 0)
 
@@ -98,3 +163,4 @@ class ExactTracker(Tracker):
 
     def end_window(self) -> None:
         self._counts.clear()
+        self._ceiling = 0

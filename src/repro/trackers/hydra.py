@@ -55,6 +55,11 @@ class HydraTracker(Tracker):
     The over-estimate property holds: per-row counters are initialised to
     the group threshold when a group transitions to per-row mode, so a
     row's estimate is always at least its true count.
+
+    Hydra inherits the default ``batch_horizon() == 0``: any observation
+    may miss the RCC and generate DRAM counter traffic, so no span of
+    observations is ever side-effect free and the batched simulation
+    engine services Hydra-tracked banks access by access.
     """
 
     def __init__(self, threshold: int, config: Optional[HydraConfig] = None):

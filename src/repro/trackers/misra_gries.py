@@ -46,6 +46,7 @@ from repro.trackers.base import Tracker, TrackerObservation
             ),
         ),
     ),
+    supports_batching=True,
 )
 class MisraGriesTracker(Tracker):
     """Misra-Gries summary with a spillover counter.
@@ -69,6 +70,10 @@ class MisraGriesTracker(Tracker):
         # count -> rows at that count (only counts > spillover are kept).
         self._rows_at_count: Dict[int, Set[int]] = {}
         self.spillover_increments = 0
+        # Monotone (within a window) upper bound on every estimate the
+        # summary can produce; every observe raises it by at most one, so
+        # `threshold - 1 - ceiling` observations can never trigger.
+        self._ceiling = 0
 
     @staticmethod
     def required_entries(max_activations: int, threshold: int) -> int:
@@ -128,6 +133,8 @@ class MisraGriesTracker(Tracker):
             # counter (Misra-Gries decrement-all).
             self._raise_spillover()
             count = self.spillover
+        if count > self._ceiling:
+            self._ceiling = count
         triggered = count >= self.threshold
         if triggered and row in counts:
             self._bucket_remove(row, counts[row])
@@ -147,11 +154,22 @@ class MisraGriesTracker(Tracker):
             self._counts[row] = 0
             self._floor_pool.add(row)
 
+    def batch_horizon(self) -> int:
+        """``threshold - 1 - ceiling`` observations cannot trigger.
+
+        The ceiling upper-bounds every estimate the summary can produce
+        (tracked counts, fresh insertions at ``spillover + 1``, and the
+        spillover itself), and one observation raises any of those by at
+        most one.
+        """
+        return max(0, self.threshold - 1 - max(self._ceiling, self.spillover + 1))
+
     def end_window(self) -> None:
         self._counts.clear()
         self._floor_pool.clear()
         self._rows_at_count.clear()
         self.spillover = 0
+        self._ceiling = 0
 
     @property
     def occupancy(self) -> float:

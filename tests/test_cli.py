@@ -4,6 +4,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.registry import MITIGATIONS, TRACKERS
+from repro.sim.simulator import default_engine
 
 
 class TestParser:
@@ -37,6 +38,22 @@ class TestParser:
     def test_grid_workload_singular_alias(self):
         args = build_parser().parse_args(["grid", "--workload", "trace:/x"])
         assert args.workloads == ["trace:/x"]
+
+    def test_engine_flag(self):
+        for command in (["run", "gcc"], ["sweep", "gcc"], ["grid"]):
+            args = build_parser().parse_args(command)
+            # The parser default follows REPRO_ENGINE (the CI batched
+            # pass runs this very test under it).
+            assert args.engine == default_engine()
+            args = build_parser().parse_args(command + ["--engine", "auto"])
+            assert args.engine == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "gcc", "--engine", "warp"])
+
+    def test_engine_flag_honors_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "batched")
+        args = build_parser().parse_args(["run", "gcc"])
+        assert args.engine == "batched"
 
     def test_mitigation_choices_derived_from_registry(self):
         parser = build_parser()

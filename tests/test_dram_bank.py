@@ -16,15 +16,17 @@ class TestActivationStats:
         assert stats.count(6) == 0
 
     def test_window_roll_resets_counts(self):
-        stats = ActivationStats(1000.0)
+        stats = ActivationStats(1000.0, keep_history=True)
         stats.record(5, 0.0)
         stats.record(5, 1500.0)  # next window
         assert stats.count(5) == 1
         assert stats.window_index == 1
         assert stats.history[0].max_row_activations == 1
+        assert stats.closed_max_row_activations == 1
+        assert stats.windows_closed == 1
 
     def test_history_records_hottest_row(self):
-        stats = ActivationStats(1000.0)
+        stats = ActivationStats(1000.0, keep_history=True)
         for _ in range(3):
             stats.record(7, 0.0)
         stats.record(9, 0.0)
@@ -35,10 +37,36 @@ class TestActivationStats:
         assert stats.history[0].rows_activated == 2
 
     def test_empty_window_recorded(self):
-        stats = ActivationStats(1000.0)
+        stats = ActivationStats(1000.0, keep_history=True)
         stats.record(1, 2500.0)  # skips windows 0 and 1
         assert len(stats.history) == 2
         assert stats.history[0].total_activations == 0
+
+    def test_bank_threads_keep_history_through(self):
+        bank = Bank(64, DRAMTiming(refresh_window=1000.0), keep_history=True)
+        bank.access(0.0, 3)
+        bank.access(1500.0, 3)  # rolls window 0 closed
+        assert len(bank.stats.history) == 1
+        assert bank.stats.history[0].max_row_activations == 1
+        plain = Bank(64, DRAMTiming(refresh_window=1000.0))
+        plain.access(0.0, 3)
+        plain.access(1500.0, 3)
+        assert plain.stats.history == []
+        assert plain.stats.windows_closed == 1
+
+    def test_history_off_by_default_but_aggregates_kept(self):
+        stats = ActivationStats(1000.0)
+        for _ in range(3):
+            stats.record(7, 0.0)
+        stats.record(9, 0.0)
+        stats.record(1, 2500.0)  # closes windows 0 and 1
+        assert stats.history == []
+        assert stats.windows_closed == 2
+        assert stats.closed_total_activations == 4
+        assert stats.closed_max_row_activations == 3
+        assert stats.peak_row_activations() == 3
+        assert stats.ever_exceeded(3)
+        assert not stats.ever_exceeded(4)
 
     def test_time_travel_rejected(self):
         stats = ActivationStats(1000.0)

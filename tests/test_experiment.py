@@ -18,6 +18,12 @@ from repro.sim.runner import compare_mitigations, normalized_table, sweep_trh
 from repro.sim.results import geometric_mean, normalized_performance
 from repro.sim.simulator import SimulationParams
 
+# This module compares the deprecated runner shims against the engine
+# path bit-for-bit; silence their DeprecationWarning.
+pytestmark = pytest.mark.filterwarnings(
+    r"ignore:repro\.sim\.runner:DeprecationWarning"
+)
+
 FAST = SimulationParams(
     trh=1200, num_cores=2, requests_per_core=3000, time_scale=32, seed=11
 )

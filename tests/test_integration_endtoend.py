@@ -8,7 +8,11 @@ assembled (tracker + RIT + engine + bank + memory system).
 
 import pytest
 
-pytestmark = pytest.mark.slow  # full-stack simulations, seconds per test
+pytestmark = [
+    pytest.mark.slow,  # full-stack simulations, seconds per test
+    # Legacy-path coverage rides on the deprecated shims on purpose.
+    pytest.mark.filterwarnings(r"ignore:repro\.sim\.runner:DeprecationWarning"),
+]
 
 from repro.sim.results import normalized_performance
 from repro.sim.runner import compare_mitigations, run_workload

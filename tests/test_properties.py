@@ -167,13 +167,14 @@ class TestActivationStatsProperties:
     )
     @settings(max_examples=100)
     def test_total_activations_conserved(self, events):
-        stats = ActivationStats(refresh_window=1000.0)
+        stats = ActivationStats(refresh_window=1000.0, keep_history=True)
         events.sort(key=lambda e: e[1])
         for row, time in events:
             stats.record(row, time)
         stats.finalize(10_000.0)
         total = sum(record.total_activations for record in stats.history)
         assert total == len(events)
+        assert stats.closed_total_activations == len(events)
         assert stats.lifetime_activations == len(events)
 
     @given(

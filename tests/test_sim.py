@@ -22,6 +22,12 @@ from repro.sim.results import (
 )
 from repro.sim.runner import compare_mitigations, run_workload, sweep_trh
 from repro.sim.simulator import PerformanceSimulation, SimulationParams
+
+# This module deliberately exercises the deprecated runner shims to pin
+# their numbers to the engine path; silence their DeprecationWarning.
+pytestmark = pytest.mark.filterwarnings(
+    r"ignore:repro\.sim\.runner:DeprecationWarning"
+)
 from repro.trackers.hydra import HydraTracker
 from repro.trackers.misra_gries import MisraGriesTracker
 from repro.workloads.suites import ALL_WORKLOADS
@@ -29,6 +35,31 @@ from repro.workloads.suites import ALL_WORKLOADS
 FAST = SimulationParams(
     trh=1200, num_cores=2, requests_per_core=4000, time_scale=32, seed=11
 )
+
+TINY = SimulationParams(
+    trh=1200, num_cores=1, requests_per_core=500, time_scale=32, seed=11
+)
+
+
+class TestDeprecationSignals:
+    """The legacy shims must actually warn their callers (once each)."""
+
+    def test_run_workload_warns(self):
+        with pytest.warns(DeprecationWarning, match="run_workload"):
+            run_workload("povray", "baseline", TINY)
+
+    def test_compare_mitigations_warns_once_for_itself(self):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            compare_mitigations("povray", [], TINY)
+        deprecations = [
+            record for record in caught
+            if issubclass(record.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "compare_mitigations" in str(deprecations[0].message)
 
 
 class TestFactory:

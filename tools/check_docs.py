@@ -31,7 +31,9 @@ from typing import Iterator, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Packages whose public API must be fully documented.
+#: Packages whose public API must be fully documented. Globbed
+#: recursively, so subpackages (``repro.sim.engine``, ...) are enforced
+#: automatically.
 ENFORCED_PACKAGES = ("src/repro/workloads", "src/repro/sim", "src/repro/cpu")
 
 #: Documents whose ``python`` code blocks must import cleanly.
