@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""A gridded security study on the experiment engine, with a store.
+
+Reproduces the Figure 6 story — time-to-break vs swap rate, RRS against
+SRS — as one declarative grid of ``security`` evaluation cells: the
+analytical model at every (TRH, swap rate) point, with an optional
+Monte-Carlo validation pass, persisted in a result store so rerunning
+the script (or growing the grid) recomputes nothing already done.
+
+Usage::
+
+    python examples/security_study.py [store_dir] [iterations]
+
+Pass a store directory to make the study incremental; pass an iteration
+count (e.g. 100000) to add the Monte-Carlo 'Experiment' series.
+"""
+
+import sys
+
+from repro.sim import ExperimentSpec, SecurityParams, run_grid
+
+SWAP_RATES = [6.0, 7.0, 8.0, 9.0, 10.0]
+TRH_VALUES = [4800, 2400]
+
+
+def main() -> int:
+    store = sys.argv[1] if len(sys.argv) > 1 else None
+    iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+
+    spec = ExperimentSpec(
+        kind="security",
+        mitigations=["rrs", "srs"],
+        base_params=SecurityParams(iterations=iterations),
+        grid={"trh": TRH_VALUES, "swap_rate": SWAP_RATES},
+    )
+    results = run_grid(spec, store=store, reuse=store is not None)
+    if results.run_stats and store:
+        stats = results.run_stats
+        print(f"store {store}: executed {stats.executed}, "
+              f"reused {stats.reused} of {stats.planned} cells\n")
+
+    by_point = {(r.mitigation, r.trh, r.swap_rate): r for r in results}
+    for trh in TRH_VALUES:
+        print(f"=== TRH = {trh} (days to break) ===")
+        header = f"{'rate':>6s}{'RRS':>14s}{'SRS':>14s}"
+        if iterations:
+            header += f"{'RRS mc':>14s}{'SRS mc':>14s}"
+        print(header)
+        for rate in SWAP_RATES:
+            rrs = by_point[("rrs", trh, rate)]
+            srs = by_point[("srs", trh, rate)]
+            row = f"{rate:>6.1f}{rrs.days:>14.4g}{srs.days:>14.4g}"
+            if iterations:
+                row += f"{rrs.mc_days_mean:>14.4g}{srs.mc_days_mean:>14.4g}"
+            print(row)
+        print()
+    print("The paper's Section III-D conclusion: unswap-swaps let "
+          "Juggernaut break RRS orders of magnitude faster than SRS "
+          "at every swap rate.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

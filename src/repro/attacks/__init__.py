@@ -20,7 +20,11 @@ from repro.attacks.analytical import (
     SECONDS_PER_DAY,
 )
 from repro.attacks.birthday import random_guess_time_to_break_days
-from repro.attacks.montecarlo import MonteCarloJuggernaut, MonteCarloResult
+from repro.attacks.montecarlo import (
+    MonteCarloJuggernaut,
+    MonteCarloResult,
+    derive_seed,
+)
 from repro.attacks.outliers import OutlierModel
 from repro.attacks.juggernaut import (
     JuggernautAttacker,
@@ -43,6 +47,7 @@ __all__ = [
     "random_guess_time_to_break_days",
     "MonteCarloJuggernaut",
     "MonteCarloResult",
+    "derive_seed",
     "OutlierModel",
     "JuggernautAttacker",
     "AttackVerdict",

@@ -21,12 +21,32 @@ a geometric draw, which is what makes 100,000 iterations tractable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, fields
 from typing import Optional
 
 import numpy as np
 
 from repro.attacks.analytical import AttackParameters, JuggernautModel, NS_PER_DAY
+
+
+def derive_seed(params: AttackParameters, salt: str = "") -> int:
+    """A stable 64-bit RNG seed derived from the attack parameters.
+
+    Mirrors the performance path's determinism scheme: every stream is a
+    pure function of the run's own parameters (plus an optional caller
+    ``salt`` distinguishing otherwise-identical draws, e.g. the design
+    name or a grid cell's base seed), digested with SHA-256 — never
+    Python's per-process-randomized ``hash()``. Distinct parameter
+    points therefore sample independent streams, and reruns of the same
+    point reproduce bit-identical results, regardless of how cells are
+    scheduled across workers.
+    """
+    record = tuple(
+        (f.name, repr(getattr(params, f.name))) for f in fields(params)
+    )
+    payload = repr((salt, record)).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
 
 
 @dataclass
@@ -52,10 +72,19 @@ class MonteCarloJuggernaut:
     def __init__(
         self,
         params: Optional[AttackParameters] = None,
-        seed: int = 0xBEEF,
+        seed: Optional[int] = None,
     ):
+        """``seed=None`` (the default) derives the stream from ``params``
+        via :func:`derive_seed`, so two simulations of distinct design
+        points are automatically independent and each point is
+        reproducible on its own — the old fixed-global-seed default made
+        parallel sweep cells share one stream. Pass an explicit seed for
+        replicate draws of the same point."""
         self.params = params or AttackParameters()
         self.model = JuggernautModel(self.params)
+        if seed is None:
+            seed = derive_seed(self.params)
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
 
     def _simulate_windows(self, rounds: int, num_windows: int) -> np.ndarray:

@@ -11,8 +11,8 @@ Commands:
 - ``trace record`` — dump a workload's per-core access streams to
   replayable USIMM trace files.
 - ``trace info`` — summary statistics of a trace file or directory.
-- ``attack`` — the Juggernaut analytical model at a design point.
-- ``security-sweep`` — time-to-break RRS/SRS across swap rates.
+- ``attack`` — the Juggernaut model at a design point.
+- ``security-sweep`` — time-to-break RRS/SRS across swap rates x TRH.
 - ``outliers`` — the Figure 13 outlier-appearance model.
 - ``storage`` — Table IV storage breakdowns.
 - ``power`` — Table V power overheads.
@@ -24,6 +24,15 @@ and workload-source strings (``trace:/path/to/run``) everywhere. The
 simulation commands take ``--engine {scalar,batched,auto}``; engines
 are bit-identical, so the flag only trades wall-clock time (see
 :mod:`repro.sim.engine`).
+
+``grid``, ``attack``, ``security-sweep``, ``storage``, and ``power``
+all route through the experiment engine (:mod:`repro.sim.experiment`),
+so they share parallel execution (``--jobs``), CSV/JSON export, and
+the persistent result store: ``--store DIR`` saves every completed
+cell, ``--resume`` reuses stored cells bit-identically (rerun a killed
+grid and only the missing cells execute), and ``--shard i/n`` runs one
+digest-stable slice of the grid — ``n`` such runs against a shared
+store cover the grid exactly once (see :mod:`repro.sim.store`).
 """
 
 from __future__ import annotations
@@ -33,14 +42,21 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.analysis.power import PowerModel
-from repro.analysis.storage import StorageModel
-from repro.attacks.analytical import AttackParameters, JuggernautModel, srs_parameters
 from repro.attacks.outliers import OutlierModel
 from repro.dram.address import AddressMapper
 from repro.dram.config import DRAMOrganization
 from repro.registry import MITIGATIONS, TRACKERS
-from repro.sim import ExperimentSpec, SimulationParams, record_workload, run_grid
+from repro.sim import (
+    ExperimentSpec,
+    PowerParams,
+    ResultSet,
+    SecurityParams,
+    SimulationParams,
+    StorageParams,
+    parse_shard,
+    record_workload,
+    run_grid,
+)
 from repro.sim.engine import ENGINE_NAMES
 from repro.sim.experiment import resolve_workload
 from repro.sim.simulator import default_engine
@@ -89,6 +105,89 @@ def _params_from_args(args: argparse.Namespace, trh: Optional[int] = None) -> Si
     )
 
 
+def _run_eval(
+    spec: ExperimentSpec,
+    args: argparse.Namespace,
+    progress=None,
+    default_jobs: Optional[int] = None,
+) -> ResultSet:
+    """Run a spec through the engine with the shared store/shard flags.
+
+    ``default_jobs`` is the worker count used when ``--jobs`` is not
+    given: the analytical commands pass ``1`` so microsecond-scale cells
+    (storage, power, analytical-only attack) are not taxed with process
+    startup; grids and Monte-Carlo studies keep the CPU-count default.
+    """
+    if getattr(args, "resume", False) and not getattr(args, "store", None):
+        raise SystemExit("--resume needs --store")
+    jobs = getattr(args, "jobs", None)
+    return run_grid(
+        spec,
+        max_workers=jobs if jobs is not None else default_jobs,
+        progress=progress,
+        store=getattr(args, "store", None),
+        reuse=bool(getattr(args, "resume", False)),
+        shard=getattr(args, "shard", None),
+    )
+
+
+def _report_store(results: ResultSet, args: argparse.Namespace) -> None:
+    """One-line store/shard accounting (greppable by CI's resume smoke)."""
+    stats = results.run_stats
+    if stats is None or not getattr(args, "store", None):
+        return
+    shard = f", shard {stats.shard[0]}/{stats.shard[1]}" if stats.shard else ""
+    print(
+        f"store: executed {stats.executed}, reused {stats.reused} of "
+        f"{stats.planned} cells{shard} ({args.store})"
+    )
+
+
+def _export_results(
+    results: ResultSet, args: argparse.Namespace, kind: str = "perf"
+) -> None:
+    """Write the set's --json/--csv exports when requested; ``kind``
+    pins the CSV header even for an empty shard slice."""
+    if getattr(args, "json", None):
+        results.save(args.json)
+        print(f"wrote {args.json}")
+    if getattr(args, "csv", None):
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(results.to_csv(kind=kind))
+        print(f"wrote {args.csv}")
+
+
+def _shard_type(text: str):
+    """argparse type for ``--shard`` surfacing parse_shard's hints
+    (argparse swallows plain ValueError messages)."""
+    try:
+        return parse_shard(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _add_eval_options(
+    parser: argparse.ArgumentParser, jobs: bool = True, export: bool = True
+) -> None:
+    """Engine-backed command knobs: parallelism, export, persistence."""
+    if jobs:
+        parser.add_argument("--jobs", type=int, default=None,
+                            help="worker processes (default: CPU count)")
+    if export:
+        parser.add_argument("--csv", help="export the result set as CSV")
+        parser.add_argument(
+            "--json", help="export the result set (with parameters) as JSON"
+        )
+    parser.add_argument("--store", metavar="DIR",
+                        help="persist completed cells in a result store")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse cells already in --store (skip them "
+                             "bit-identically)")
+    parser.add_argument("--shard", metavar="I/N", type=_shard_type,
+                        help="run only this digest-stable slice of the grid "
+                             "(e.g. 0/4; combine runs via a shared --store)")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = ExperimentSpec(
         workloads=[args.workload],
@@ -133,30 +232,33 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         if args.verbose:
             print(f"[{done}/{total}] {result.summary()}")
 
-    results = run_grid(spec, max_workers=args.jobs, progress=progress)
-    for trh in sorted(set(args.trh), reverse=True):
-        at_trh = results.filter(trh=trh)
-        print(f"\n=== TRH = {trh} (normalized performance) ===")
-        print(f"{'workload':<14s}" + "".join(f"{m:>14s}" for m in args.mitigations))
-        for workload, row in at_trh.normalized_table().items():
-            cells = "".join(
-                f"{row.get(m, float('nan')):>14.4f}" for m in args.mitigations
-            )
-            print(f"{workload:<14s}{cells}")
-        means = at_trh.suite_geomeans()
-        if "ALL" in means:
-            cells = "".join(
-                f"{means['ALL'].get(m, float('nan')):>14.4f}"
-                for m in args.mitigations
-            )
-            print(f"{'GEOMEAN':<14s}{cells}")
-    if args.json:
-        results.save(args.json)
-        print(f"\nwrote {args.json}")
-    if args.csv:
-        with open(args.csv, "w", encoding="utf-8") as handle:
-            handle.write(results.to_csv())
-        print(f"wrote {args.csv}")
+    results = _run_eval(spec, args, progress)
+    if args.shard:
+        # A shard holds an arbitrary slice of the grid (its baselines
+        # may live in other shards), so print raw cell summaries; the
+        # merged normalized tables come from a final --resume pass.
+        for result in results:
+            print(result.summary())
+    else:
+        for trh in sorted(set(args.trh), reverse=True):
+            at_trh = results.filter(trh=trh)
+            print(f"\n=== TRH = {trh} (normalized performance) ===")
+            print(f"{'workload':<14s}" + "".join(f"{m:>14s}" for m in args.mitigations))
+            for workload, row in at_trh.normalized_table().items():
+                cells = "".join(
+                    f"{row.get(m, float('nan')):>14.4f}" for m in args.mitigations
+                )
+                print(f"{workload:<14s}{cells}")
+            means = at_trh.suite_geomeans()
+            if "ALL" in means:
+                cells = "".join(
+                    f"{means['ALL'].get(m, float('nan')):>14.4f}"
+                    for m in args.mitigations
+                )
+                print(f"{'GEOMEAN':<14s}{cells}")
+        print()
+    _report_store(results, args)
+    _export_results(results, args, kind="perf")
     return 0
 
 
@@ -197,25 +299,82 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    params = AttackParameters(trh=args.trh, ts=max(2, int(args.trh / args.swap_rate)))
-    rrs = JuggernautModel(params).best(step=args.step)
-    srs = JuggernautModel(srs_parameters(params)).best(step=max(100, args.step))
+    spec = ExperimentSpec(
+        kind="security",
+        mitigations=["rrs", "srs"],
+        base_params=SecurityParams(
+            trh=args.trh,
+            swap_rate=args.swap_rate,
+            step=args.step,
+            # The pre-engine attack command scanned SRS at max(100, step);
+            # keep its numbers for any --step.
+            srs_step=max(100, args.step),
+            iterations=args.iterations,
+        ),
+    )
+    results = _run_eval(
+        spec, args, default_jobs=1 if args.iterations == 0 else None
+    )
     print(f"Juggernaut at TRH={args.trh}, swap rate {args.swap_rate}:")
-    print(f"  RRS: N={rrs.rounds} k={rrs.required_guesses} "
-          f"G={rrs.guesses_per_window:.0f} -> {rrs.time_to_break_days:.4g} days")
-    print(f"  SRS: {srs.time_to_break_days:.4g} days "
-          f"({srs.time_to_break_days / 365:.2f} years)")
+    for result in results:
+        if result.mitigation == "rrs":
+            print(f"  RRS: N={result.rounds} k={result.required_guesses} "
+                  f"G={result.guesses_per_window:.0f} -> {result.days:.4g} days")
+        else:
+            print(f"  SRS: {result.days:.4g} days "
+                  f"({result.days / 365:.2f} years)")
+        if result.mc_days_mean is not None:
+            print(f"       Monte-Carlo ({result.iterations} iters): "
+                  f"mean {result.mc_days_mean:.4g} days, "
+                  f"median {result.mc_days_median:.4g}, "
+                  f"p95 {result.mc_days_p95:.4g}")
+    _report_store(results, args)
+    _export_results(results, args, kind="security")
     return 0
 
 
 def _cmd_security_sweep(args: argparse.Namespace) -> int:
     rates = [float(r) for r in args.rates.split(",")]
-    print(f"{'rate':>6s}{'RRS (days)':>14s}{'SRS (days)':>14s}")
-    for rate in rates:
-        params = AttackParameters(trh=args.trh, ts=max(2, int(args.trh / rate)))
-        rrs = JuggernautModel(params).best(step=20).time_to_break_days
-        srs = JuggernautModel(srs_parameters(params)).best(step=200).time_to_break_days
-        print(f"{rate:>6.1f}{rrs:>14.4g}{srs:>14.4g}")
+    spec = ExperimentSpec(
+        kind="security",
+        mitigations=["rrs", "srs"],
+        base_params=SecurityParams(step=20, iterations=args.iterations),
+        grid={"trh": list(args.trh), "swap_rate": rates},
+    )
+    results = _run_eval(
+        spec, args, default_jobs=1 if args.iterations == 0 else None
+    )
+    # Row order follows the requested rates (and TRH blocks), never
+    # worker completion order: the engine returns cells in plan order
+    # and the lookup below re-walks the requested axes.
+    by_point = {
+        (r.mitigation, r.trh, r.swap_rate): r
+        for r in results
+        if r.kind == "security"
+    }
+    mc = args.iterations > 0
+    for trh in args.trh:
+        if len(args.trh) > 1:
+            print(f"\n=== TRH = {trh} ===")
+        header = f"{'rate':>6s}{'RRS (days)':>14s}{'SRS (days)':>14s}"
+        if mc:
+            header += f"{'RRS mc-mean':>14s}{'SRS mc-mean':>14s}"
+        print(header)
+        for rate in rates:
+            # A --shard run holds only its slice; missing points print
+            # as '-' (the merged table comes from a --resume pass).
+            rrs = by_point.get(("rrs", trh, rate))
+            srs = by_point.get(("srs", trh, rate))
+
+            def fmt(value) -> str:
+                return f"{value:>14.4g}" if value is not None else f"{'-':>14s}"
+
+            row = f"{rate:>6.1f}" + fmt(rrs and rrs.days) + fmt(srs and srs.days)
+            if mc:
+                row += fmt(rrs and rrs.mc_days_mean) + fmt(srs and srs.mc_days_mean)
+            print(row)
+    _report_store(results, args)
+    _export_results(results, args, kind="security")
     return 0
 
 
@@ -230,21 +389,48 @@ def _cmd_outliers(args: argparse.Namespace) -> int:
 
 
 def _cmd_storage(args: argparse.Namespace) -> int:
-    model = StorageModel(direction_bit_optimization=args.direction_bit)
+    spec = ExperimentSpec(
+        kind="storage",
+        mitigations=["rrs", "scale-srs"],
+        base_params=StorageParams(direction_bit=args.direction_bit),
+        grid={"trh": list(args.trh)},
+    )
+    results = _run_eval(spec, args, default_jobs=1)
+    by_point = {(r.mitigation, r.trh): r for r in results}
     print(f"{'TRH':>6s}{'RRS KB':>9s}{'Scale KB':>10s}{'ratio':>7s}")
-    for trh in (4800, 2400, 1200):
-        rrs = model.breakdown(trh, "rrs").total_kb
-        scale = model.breakdown(trh, "scale-srs").total_kb
-        print(f"{trh:>6d}{rrs:>9.1f}{scale:>10.1f}{rrs / scale:>7.2f}")
+    for trh in args.trh:
+        rrs = by_point.get(("rrs", trh))
+        scale = by_point.get(("scale-srs", trh))
+        if rrs is None or scale is None:
+            continue  # --shard slice without the full pair
+        print(f"{trh:>6d}{rrs.total_kb:>9.1f}{scale.total_kb:>10.1f}"
+              f"{rrs.total_bytes / scale.total_bytes:>7.2f}")
+    _report_store(results, args)
+    _export_results(results, args, kind="storage")
     return 0
 
 
 def _cmd_power(args: argparse.Namespace) -> int:
-    model = PowerModel()
-    for design, row in model.table(args.trh).items():
+    spec = ExperimentSpec(
+        kind="power",
+        mitigations=["rrs", "scale-srs"],
+        base_params=PowerParams(trh=args.trh),
+    )
+    results = _run_eval(spec, args, default_jobs=1)
+    by_design = {r.mitigation: r for r in results}
+    for design in ("rrs", "scale-srs"):
+        row = by_design.get(design)
+        if row is None:
+            continue  # --shard slice without this design
         print(f"{design:<12s} DRAM {row.dram_overhead_percent:.2f}%  "
               f"SRAM {row.sram_power_mw:.0f} mW")
-    print(f"on-chip saving: {model.sram_power_saving_percent(args.trh):.1f}%")
+    if "rrs" in by_design and "scale-srs" in by_design:
+        # The saving formula lives in PowerModel; the cells above ran
+        # the identical model, so this is consistent with their rows.
+        model = by_design["rrs"].params.model()
+        print(f"on-chip saving: {model.sram_power_saving_percent(args.trh):.1f}%")
+    _report_store(results, args)
+    _export_results(results, args, kind="power")
     return 0
 
 
@@ -331,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true", help="per-cell progress")
     _add_sim_options(p, mitigation_names, tracker_names, ["rrs", "scale-srs"],
                      default_requests=12_000)
+    _add_eval_options(p, jobs=False, export=False)
     p.set_defaults(func=_cmd_grid)
 
     p = sub.add_parser("trace", help="record and inspect USIMM trace files")
@@ -355,15 +542,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path", help="trace file or per-core trace directory")
     p.set_defaults(func=_cmd_trace_info)
 
-    p = sub.add_parser("attack", help="Juggernaut analytical model")
+    p = sub.add_parser(
+        "attack", help="Juggernaut model at one design point"
+    )
     p.add_argument("--trh", type=int, default=4800)
     p.add_argument("--swap-rate", type=float, default=6.0)
-    p.add_argument("--step", type=int, default=10)
+    p.add_argument("--step", type=int, default=10,
+                   help="optimal-N scan granularity "
+                        "(SRS scans at max(100, step))")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="Monte-Carlo attack samples (0 = analytical only)")
+    _add_eval_options(p)
     p.set_defaults(func=_cmd_attack)
 
-    p = sub.add_parser("security-sweep", help="time-to-break across swap rates")
-    p.add_argument("--trh", type=int, default=4800)
+    p = sub.add_parser(
+        "security-sweep",
+        help="time-to-break across swap rates (x TRH), via the engine",
+    )
+    p.add_argument("--trh", type=int, nargs="+", default=[4800],
+                   help="one table per TRH value")
     p.add_argument("--rates", default="6,7,8,9,10")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="Monte-Carlo attack samples (0 = analytical only)")
+    _add_eval_options(p)
     p.set_defaults(func=_cmd_security_sweep)
 
     p = sub.add_parser("outliers", help="Figure 13 outlier model")
@@ -372,12 +573,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_outliers)
 
     p = sub.add_parser("storage", help="Table IV storage model")
+    p.add_argument("--trh", type=int, nargs="+", default=[4800, 2400, 1200])
     p.add_argument("--direction-bit", action="store_true",
                    help="apply the Section VIII-4 RIT optimisation")
+    _add_eval_options(p)
     p.set_defaults(func=_cmd_storage)
 
     p = sub.add_parser("power", help="Table V power model")
     p.add_argument("--trh", type=int, default=4800)
+    _add_eval_options(p)
     p.set_defaults(func=_cmd_power)
 
     return parser

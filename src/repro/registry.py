@@ -1,4 +1,4 @@
-"""Central registry of mitigations, trackers, and workload sources.
+"""Central registry of mitigations, trackers, workload sources, and evaluations.
 
 The simulator, the CLI, and the experiment engine all need to answer the
 same questions — "which mitigations exist?", "what is this design's
@@ -33,6 +33,16 @@ Workload *sources* register the same way: a source owns a prefix
 ``grid --workloads trace:/path/to/run`` reaches the simulator (see
 :mod:`repro.workloads.sources`).
 
+*Evaluation kinds* make the experiment engine itself extensible: a kind
+is a registered runner (``cell -> result record``) plus the metadata the
+engine needs to plan, execute, persist, and export cells of that kind —
+a parameter dataclass for grid expansion, serialization hooks for
+JSON/CSV and the content-addressed result store, and a schema version
+for store keying. The built-in kinds are ``perf`` (the performance
+simulator), ``security`` (Juggernaut time-to-break, analytical plus
+Monte-Carlo), ``storage`` (Table IV), and ``power`` (Table V); see
+:mod:`repro.sim.evaluations`.
+
 The registry module itself imports nothing from :mod:`repro.core`,
 :mod:`repro.trackers`, or :mod:`repro.workloads` — those modules import
 *it* to self-register. Lookup methods lazily import the built-in
@@ -42,14 +52,17 @@ first.
 
 from __future__ import annotations
 
+import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import (
     Any,
     Callable,
     Dict,
     Generic,
     Iterator,
+    List,
+    Mapping,
     Optional,
     Tuple,
     TypeVar,
@@ -143,6 +156,79 @@ class TrackerInfo:
     supports_batching: bool = False
 
 
+@dataclass(frozen=True)
+class EvaluationInfo:
+    """Registry record for one evaluation kind.
+
+    An evaluation kind teaches the experiment engine
+    (:mod:`repro.sim.experiment`) how to run one leg of the paper's
+    evaluation — performance simulation, Monte-Carlo security analysis,
+    or an analytical model — through the same grid/parallelism/
+    persistence machinery.
+
+    Attributes:
+        name: Kind name carried by every :class:`ExperimentCell`.
+        runner: ``cell -> result record`` hook executing one cell. Must
+            be a module-level callable (cells fan out over a process
+            pool) and deterministic in the cell's parameters.
+        params_cls: Dataclass of per-cell parameters; grid axes are
+            validated against its fields and expanded with
+            :func:`dataclasses.replace`.
+        subjects: Valid ``mitigation`` names for cells of this kind, or
+            ``None`` to validate against the mitigation registry (the
+            ``perf`` kind).
+        scenario: Default ``workload`` label when a spec names none
+            (non-``perf`` kinds have no workloads; the label keys
+            filtering and export).
+        description: One-line description.
+        schema_version: Version of the result record's schema. Part of
+            the result store's content digest, so bumping it when the
+            runner's numbers or the record's fields change invalidates
+            every stored cell of this kind.
+        params_to_dict: ``params -> JSON-ready dict`` (stable field
+            order is not required; store digests sort keys).
+        params_from_dict: Inverse of ``params_to_dict``.
+        key_params_to_dict: Like ``params_to_dict`` but for *identity*
+            (store digests, merge deduplication): fields the result is
+            provably not a function of are normalized away here —
+            ``perf`` drops the simulation engine, which is bit-identical
+            by contract. Defaults to ``params_to_dict``.
+        result_to_dict: ``result record -> JSON-ready dict`` (including
+            the nested params).
+        result_from_dict: Inverse of ``result_to_dict``; the round trip
+            must be bit-identical, or store reuse would perturb results.
+        csv_header: Column names for CSV export, or ``None`` when the
+            kind implements export elsewhere (``perf`` lives in
+            :class:`~repro.sim.experiment.ResultSet`).
+        csv_row: ``result record -> row values`` matching ``csv_header``.
+    """
+
+    name: str
+    runner: Callable[[Any], Any]
+    params_cls: type
+    subjects: Optional[Tuple[str, ...]] = None
+    scenario: str = "-"
+    description: str = ""
+    schema_version: int = 1
+    params_to_dict: Optional[Callable[[Any], Dict[str, Any]]] = None
+    params_from_dict: Optional[Callable[[Mapping[str, Any]], Any]] = None
+    key_params_to_dict: Optional[Callable[[Any], Dict[str, Any]]] = None
+    result_to_dict: Optional[Callable[[Any], Dict[str, Any]]] = None
+    result_from_dict: Optional[Callable[[Mapping[str, Any]], Any]] = None
+    csv_header: Optional[Tuple[str, ...]] = None
+    csv_row: Optional[Callable[[Any], List[Any]]] = None
+
+    @property
+    def param_fields(self) -> Tuple[str, ...]:
+        """Field names of ``params_cls`` (the valid grid axes)."""
+        return tuple(f.name for f in fields(self.params_cls))
+
+    def key_params(self, params: Any) -> Dict[str, Any]:
+        """The identity view of ``params`` (see ``key_params_to_dict``)."""
+        hook = self.key_params_to_dict or self.params_to_dict
+        return hook(params)
+
+
 class Registry(Generic[T]):
     """Name -> info mapping with duplicate rejection and lazy population.
 
@@ -214,10 +300,17 @@ def _populate_workload_sources() -> None:
     import repro.workloads.sources  # noqa: F401  (registers the built-in sources)
 
 
+def _populate_evaluations() -> None:
+    import repro.sim.evaluations  # noqa: F401  (registers the built-in kinds)
+
+
 MITIGATIONS: Registry[MitigationInfo] = Registry("mitigation", _populate_mitigations)
 TRACKERS: Registry[TrackerInfo] = Registry("tracker", _populate_trackers)
 WORKLOAD_SOURCES: Registry[WorkloadSourceInfo] = Registry(
     "workload source", _populate_workload_sources
+)
+EVALUATIONS: Registry[EvaluationInfo] = Registry(
+    "evaluation kind", _populate_evaluations
 )
 
 
@@ -324,6 +417,171 @@ def register_workload_source(
         return cls
 
     return decorate
+
+
+def _json_safe(value: Any) -> Any:
+    """Map non-finite floats to the sentinels ``'inf'``/``'-inf'``/``'nan'``.
+
+    ``json.dump`` would otherwise emit the non-RFC-8259 ``Infinity`` /
+    ``NaN`` tokens, which strict consumers (jq, ``JSON.parse``) reject.
+    Kinds whose string fields could legitimately hold a sentinel value
+    must supply explicit serializers instead of the generic ones.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    return value
+
+
+def _json_restore(value: Any) -> Any:
+    """Inverse of :func:`_json_safe` (bit-exact for ``inf``)."""
+    if isinstance(value, str) and value in ("inf", "-inf", "nan"):
+        return float(value)
+    return value
+
+
+def _float_field_names(cls: type) -> frozenset:
+    """Names of a dataclass's float-annotated fields (incl. Optional).
+
+    Sentinel restoration applies only to these, so a *string* field
+    whose value happens to be ``'inf'`` (a workload label, say) is
+    never corrupted into a float on the way back in.
+    """
+    return frozenset(
+        f.name for f in fields(cls) if "float" in str(f.type).lower()
+    )
+
+
+def _generic_params_serializers(
+    params_cls: type,
+) -> Tuple[Callable[[Any], Dict[str, Any]], Callable[[Mapping[str, Any]], Any]]:
+    """Field-by-field (de)serializers for a flat, JSON-scalar dataclass."""
+
+    names = tuple(f.name for f in fields(params_cls))
+    float_names = _float_field_names(params_cls)
+
+    def to_dict(params: Any) -> Dict[str, Any]:
+        return {name: _json_safe(getattr(params, name)) for name in names}
+
+    def from_dict(data: Mapping[str, Any]) -> Any:
+        return params_cls(
+            **{
+                name: (
+                    _json_restore(data[name])
+                    if name in float_names
+                    else data[name]
+                )
+                for name in names
+                if name in data
+            }
+        )
+
+    return to_dict, from_dict
+
+
+def _generic_result_serializers(
+    result_cls: type,
+    params_to_dict: Callable[[Any], Dict[str, Any]],
+    params_from_dict: Callable[[Mapping[str, Any]], Any],
+) -> Tuple[Callable[[Any], Dict[str, Any]], Callable[[Mapping[str, Any]], Any]]:
+    """(De)serializers for a flat result dataclass with a nested ``params``."""
+
+    names = tuple(f.name for f in fields(result_cls))
+    float_names = _float_field_names(result_cls)
+
+    def to_dict(result: Any) -> Dict[str, Any]:
+        out = {name: _json_safe(getattr(result, name)) for name in names}
+        if out.get("params") is not None:
+            out["params"] = params_to_dict(getattr(result, "params"))
+        return out
+
+    def from_dict(data: Mapping[str, Any]) -> Any:
+        kwargs = {
+            name: (
+                _json_restore(data[name]) if name in float_names else data[name]
+            )
+            for name in names
+            if name in data
+        }
+        if kwargs.get("params") is not None:
+            kwargs["params"] = params_from_dict(data["params"])
+        return result_cls(**kwargs)
+
+    return to_dict, from_dict
+
+
+def register_evaluation(
+    name: str,
+    *,
+    params_cls: type,
+    result_cls: Optional[type] = None,
+    subjects: Optional[Tuple[str, ...]] = None,
+    scenario: str = "-",
+    description: str = "",
+    schema_version: int = 1,
+    params_to_dict: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    params_from_dict: Optional[Callable[[Mapping[str, Any]], Any]] = None,
+    key_params_to_dict: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    result_to_dict: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    result_from_dict: Optional[Callable[[Mapping[str, Any]], Any]] = None,
+    csv_header: Optional[Tuple[str, ...]] = None,
+    csv_row: Optional[Callable[[Any], List[Any]]] = None,
+) -> Callable[[Callable[[Any], Any]], Callable[[Any], Any]]:
+    """Function decorator registering an evaluation kind's cell runner.
+
+    The decorated function is the kind's ``runner`` (``cell -> result
+    record``); see :class:`EvaluationInfo` for every hook's contract.
+    Serialization hooks default to generic field-by-field dataclass
+    conversion (with the nested ``params`` handled through the params
+    hooks), which suffices for flat records of JSON scalars; kinds with
+    richer records (``perf``'s per-core lists, enums) pass explicit
+    hooks. When the generic result serializers are requested,
+    ``result_cls`` is required.
+    """
+
+    if params_to_dict is None or params_from_dict is None:
+        generic_to, generic_from = _generic_params_serializers(params_cls)
+        params_to_dict = params_to_dict or generic_to
+        params_from_dict = params_from_dict or generic_from
+    if result_to_dict is None or result_from_dict is None:
+        if result_cls is None:
+            raise ValueError(
+                "register_evaluation needs result_cls to derive the "
+                "generic result serializers"
+            )
+        generic_to, generic_from = _generic_result_serializers(
+            result_cls, params_to_dict, params_from_dict
+        )
+        result_to_dict = result_to_dict or generic_to
+        result_from_dict = result_from_dict or generic_from
+
+    def decorate(runner: Callable[[Any], Any]) -> Callable[[Any], Any]:
+        EVALUATIONS.add(
+            name,
+            EvaluationInfo(
+                name=name,
+                runner=runner,
+                params_cls=params_cls,
+                subjects=subjects,
+                scenario=scenario,
+                description=description,
+                schema_version=schema_version,
+                params_to_dict=params_to_dict,
+                params_from_dict=params_from_dict,
+                key_params_to_dict=key_params_to_dict,
+                result_to_dict=result_to_dict,
+                result_from_dict=result_from_dict,
+                csv_header=csv_header,
+                csv_row=csv_row,
+            ),
+        )
+        return runner
+
+    return decorate
+
+
+def evaluation_names() -> Tuple[str, ...]:
+    """Registered evaluation-kind names, registration order."""
+    return EVALUATIONS.names()
 
 
 def mitigation_names() -> Tuple[str, ...]:

@@ -16,6 +16,12 @@ Workloads may be synthetic names (``"gcc"``) or recorded traces
 per-core streams to replayable USIMM files. The legacy helpers
 (:func:`run_workload`, :func:`compare_mitigations`, :func:`sweep_trh`)
 remain as deprecated shims over the same engine.
+
+Experiments are not limited to performance: ``ExperimentSpec(kind=...)``
+runs the security and analytical evaluation legs through the same
+engine (:mod:`repro.sim.evaluations`), and ``run_grid(store=...)``
+persists completed cells in a content-addressed
+:class:`~repro.sim.store.ResultStore` for resumable, shardable grids.
 """
 
 from repro.sim.engine import (
@@ -30,10 +36,20 @@ from repro.sim.experiment import (
     ExperimentCell,
     ExperimentSpec,
     ResultSet,
+    RunStats,
     baseline_view,
     plan_cells,
     resolve_workload,
     run_grid,
+)
+from repro.sim.store import ResultStore, cell_digest, parse_shard, shard_of
+from repro.sim.evaluations import (
+    PowerParams,
+    PowerResult,
+    SecurityParams,
+    SecurityResult,
+    StorageParams,
+    StorageResult,
 )
 from repro.sim.factory import (
     MITIGATION_NAMES,
@@ -62,10 +78,21 @@ __all__ = [
     "ExperimentCell",
     "ExperimentSpec",
     "ResultSet",
+    "RunStats",
     "baseline_view",
     "plan_cells",
     "resolve_workload",
     "run_grid",
+    "ResultStore",
+    "cell_digest",
+    "parse_shard",
+    "shard_of",
+    "SecurityParams",
+    "SecurityResult",
+    "StorageParams",
+    "StorageResult",
+    "PowerParams",
+    "PowerResult",
     "make_mitigation_factory",
     "make_tracker",
     "MITIGATION_NAMES",

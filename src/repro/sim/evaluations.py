@@ -1,0 +1,425 @@
+"""The built-in evaluation kinds of the experiment engine.
+
+The paper's evaluation has three legs — performance simulation
+(Figures 12/14/15), Monte-Carlo/analytical security analysis (Figure 6's
+time-to-break), and analytical storage/power models (Tables IV-V). This
+module registers each leg as an *evaluation kind* with
+:func:`repro.registry.register_evaluation`, so all of them run through
+the same engine (:mod:`repro.sim.experiment`): declarative grids,
+process-pool parallelism, deterministic per-cell seeding, JSON/CSV
+export, and the content-addressed result store
+(:mod:`repro.sim.store`).
+
+The four kinds:
+
+- ``perf`` — today's performance-simulator path, unchanged semantics: a
+  cell is (workload, mitigation, :class:`SimulationParams`) and runs
+  :class:`~repro.sim.simulator.PerformanceSimulation`.
+- ``security`` — Juggernaut time-to-break at one design point: a cell
+  is (design in ``rrs``/``srs``, :class:`SecurityParams`), gridable over
+  swap rate, TRH, and the attacker's round budget. The analytical model
+  (Equations 1-10) always runs; ``iterations > 0`` adds the Figure 6
+  Monte-Carlo validation with a per-cell derived seed.
+- ``storage`` — the Table IV per-bank SRAM inventory
+  (:class:`~repro.analysis.storage.StorageModel`) for ``rrs`` /
+  ``scale-srs``.
+- ``power`` — the Table V DRAM/SRAM power overheads
+  (:class:`~repro.analysis.power.PowerModel`).
+
+Every runner is a module-level function of the cell alone (picklable,
+deterministic), and every result record is a flat dataclass carrying
+``workload``/``mitigation``/``trh`` plus its full parameter record, so
+heterogeneous :class:`~repro.sim.experiment.ResultSet`s filter, merge,
+and export uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import ClassVar, List, Optional
+
+from repro.analysis.power import PowerModel
+from repro.analysis.storage import StorageModel
+from repro.attacks.analytical import (
+    AttackParameters,
+    JuggernautModel,
+    srs_parameters,
+)
+from repro.attacks.montecarlo import MonteCarloJuggernaut, derive_seed
+from repro.registry import register_evaluation
+from repro.sim.experiment import (
+    ExperimentCell,
+    _params_from_dict,
+    _params_to_dict,
+    _simulate_cell,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import SimulationParams
+
+# ----------------------------------------------------------------------
+# perf — the performance simulator (the engine's original kind)
+
+
+@register_evaluation(
+    "perf",
+    params_cls=SimulationParams,
+    result_cls=SimulationResult,
+    subjects=None,  # validated against the mitigation registry
+    scenario="-",
+    description="performance simulation (normalized IPC, swaps, pins)",
+    schema_version=1,
+    params_to_dict=_params_to_dict,
+    params_from_dict=_params_from_dict,
+    # Identity ignores the engine: engines are bit-identical by contract
+    # (like baseline dedup), so a store filled under one engine serves
+    # resumes under the other, and merge() dedups across engines. The
+    # normalization constant is fixed ("scalar"), never the
+    # REPRO_ENGINE-dependent default, so digests are env-independent.
+    key_params_to_dict=lambda params: _params_to_dict(
+        replace(params, engine="scalar")
+    ),
+    result_to_dict=result_to_dict,
+    result_from_dict=result_from_dict,
+)
+def run_perf_cell(cell: ExperimentCell) -> SimulationResult:
+    """Run one performance cell (delegates to the simulator driver)."""
+    return _simulate_cell(cell)
+
+
+# ----------------------------------------------------------------------
+# security — Juggernaut time-to-break (Figure 6)
+
+
+@dataclass(frozen=True)
+class SecurityParams:
+    """Knobs of one security (time-to-break) cell.
+
+    Attributes:
+        trh: Row Hammer threshold.
+        swap_rate: ``TRH / TS``; the swap threshold is derived as
+            ``max(2, int(trh / swap_rate))`` (the CLI's historical
+            truncation, kept for bit-compatibility with the old
+            single-shot commands).
+        rounds: The attacker's biasing-round budget ``N``; ``None``
+            scans for the optimal budget (the paper's Section III-C
+            strategy) with granularity ``step``.
+        step: Scan granularity for the optimal-``N`` search (RRS).
+        srs_step: SRS scan granularity; ``None`` uses ``10 * step``
+            (the SRS landscape is flat — phase 1 buys nothing, so the
+            optimum is always ``N = 0`` and the scan only confirms it).
+            The ``attack`` CLI shim passes ``max(100, step)`` to keep
+            its historical numbers.
+        iterations: Monte-Carlo attack samples (Figure 6's 'Experiment'
+            series); ``0`` runs the analytical model only.
+        probe_windows: Monte-Carlo windows probed to estimate the
+            per-window success probability (see
+            :class:`~repro.attacks.montecarlo.MonteCarloJuggernaut`).
+        seed: Base seed folded into the per-cell derived Monte-Carlo
+            stream; replicated cells increment it.
+        rows_per_bank: ``R`` in Equation 8.
+        act_gap: Effective attacker activation gap (ns); ``None`` means
+            ``t_rc`` (closed page), larger models open-page throttling.
+    """
+
+    trh: int = 4800
+    swap_rate: float = 6.0
+    rounds: Optional[int] = None
+    step: int = 20
+    srs_step: Optional[int] = None
+    iterations: int = 0
+    probe_windows: int = 200_000
+    seed: int = 2024
+    rows_per_bank: int = 128 * 1024
+    act_gap: Optional[float] = None
+
+    def attack_parameters(self, design: str) -> AttackParameters:
+        """The :class:`AttackParameters` this cell evaluates for ``design``
+        (``srs`` zeroes the latent activations per round, Equation 11)."""
+        base = AttackParameters(
+            trh=self.trh,
+            ts=max(2, int(self.trh / self.swap_rate)),
+            rows_per_bank=self.rows_per_bank,
+            act_gap=self.act_gap,
+        )
+        if design == "srs":
+            return srs_parameters(base)
+        return base
+
+
+@dataclass
+class SecurityResult:
+    """Time-to-break of one design at one security design point."""
+
+    #: Evaluation kind of this record.
+    kind: ClassVar[str] = "security"
+
+    workload: str
+    mitigation: str  # the defended design: "rrs" or "srs"
+    trh: int
+    swap_rate: float
+    ts: int
+    rounds: int  # the N actually evaluated (optimal when params.rounds is None)
+    required_guesses: int
+    guesses_per_window: float
+    success_probability: float
+    expected_iterations: float
+    days: float  # analytical time-to-break (Equation 10)
+    feasible: bool
+    iterations: int = 0  # Monte-Carlo samples (0 = analytical only)
+    mc_window_success: Optional[float] = None
+    mc_days_mean: Optional[float] = None
+    mc_days_median: Optional[float] = None
+    mc_days_p05: Optional[float] = None
+    mc_days_p95: Optional[float] = None
+    mc_seed: Optional[int] = None
+    params: Optional[SecurityParams] = None
+
+
+def _security_csv_row(result: SecurityResult) -> List[object]:
+    return [
+        result.workload, result.mitigation, result.trh, result.swap_rate,
+        result.ts, result.rounds, result.required_guesses,
+        f"{result.guesses_per_window:.6g}",
+        f"{result.success_probability:.6g}", f"{result.days:.6g}",
+        result.feasible, result.iterations,
+        "" if result.mc_days_mean is None else f"{result.mc_days_mean:.6g}",
+        "" if result.mc_days_median is None else f"{result.mc_days_median:.6g}",
+        "" if result.mc_days_p05 is None else f"{result.mc_days_p05:.6g}",
+        "" if result.mc_days_p95 is None else f"{result.mc_days_p95:.6g}",
+        "" if result.mc_seed is None else result.mc_seed,
+    ]
+
+
+@register_evaluation(
+    "security",
+    params_cls=SecurityParams,
+    result_cls=SecurityResult,
+    subjects=("rrs", "srs"),
+    scenario="juggernaut",
+    description="Juggernaut time-to-break (analytical + Monte-Carlo)",
+    schema_version=1,
+    csv_header=(
+        "workload", "mitigation", "trh", "swap_rate", "ts", "rounds",
+        "required_guesses", "guesses_per_window", "success_probability",
+        "days", "feasible", "iterations", "mc_days_mean", "mc_days_median",
+        "mc_days_p05", "mc_days_p95", "mc_seed",
+    ),
+    csv_row=_security_csv_row,
+)
+def run_security_cell(cell: ExperimentCell) -> SecurityResult:
+    """Evaluate Juggernaut against one design at one parameter point.
+
+    The Monte-Carlo stream (when ``iterations > 0``) is seeded from a
+    SHA-256 digest of the attack parameters, the design, the cell's base
+    seed, and the chosen round budget — matching the perf path's
+    everything-derives-from-the-cell determinism, so parallel cells are
+    independent and any cell reruns bit-identically in isolation.
+    """
+    params: SecurityParams = cell.params
+    design = cell.mitigation
+    attack = params.attack_parameters(design)
+    model = JuggernautModel(attack)
+    if design == "rrs":
+        step = params.step
+    elif params.srs_step is not None:
+        step = params.srs_step
+    else:
+        step = params.step * 10
+    outcome = (
+        model.best(step=max(1, step))
+        if params.rounds is None
+        else model.evaluate(params.rounds)
+    )
+    result = SecurityResult(
+        workload=cell.workload,
+        mitigation=design,
+        trh=params.trh,
+        swap_rate=params.swap_rate,
+        ts=attack.ts,
+        rounds=outcome.rounds,
+        required_guesses=outcome.required_guesses,
+        guesses_per_window=outcome.guesses_per_window,
+        success_probability=outcome.success_probability,
+        expected_iterations=outcome.expected_iterations,
+        days=outcome.time_to_break_days,
+        feasible=outcome.feasible,
+        iterations=params.iterations,
+        params=params,
+    )
+    if params.iterations > 0:
+        seed = derive_seed(
+            attack, salt=f"{design}|{params.seed}|{outcome.rounds}"
+        )
+        mc = MonteCarloJuggernaut(attack, seed=seed).run(
+            outcome.rounds,
+            iterations=params.iterations,
+            probe_windows=params.probe_windows,
+        )
+        result.mc_window_success = mc.window_success_probability
+        result.mc_days_mean = mc.mean_time_to_break_days
+        result.mc_days_median = mc.median_time_to_break_days
+        result.mc_days_p05 = mc.p05_days
+        result.mc_days_p95 = mc.p95_days
+        result.mc_seed = seed
+    return result
+
+
+# ----------------------------------------------------------------------
+# storage — the Table IV per-bank SRAM inventory
+
+
+@dataclass(frozen=True)
+class StorageParams:
+    """Knobs of one storage (Table IV) cell; see :class:`StorageModel`."""
+
+    trh: int = 4800
+    direction_bit: bool = False
+    rows_per_bank: int = 128 * 1024
+    rrs_swap_rate: float = 6.0
+    scale_swap_rate: float = 3.0
+    cat_overprovision: float = 1.17
+
+    def model(self) -> StorageModel:
+        """The :class:`StorageModel` these parameters configure."""
+        return StorageModel(
+            rows_per_bank=self.rows_per_bank,
+            rrs_swap_rate=self.rrs_swap_rate,
+            scale_swap_rate=self.scale_swap_rate,
+            cat_overprovision=self.cat_overprovision,
+            direction_bit_optimization=self.direction_bit,
+        )
+
+
+@dataclass
+class StorageResult:
+    """Per-bank SRAM inventory of one design at one threshold (bytes)."""
+
+    #: Evaluation kind of this record.
+    kind: ClassVar[str] = "storage"
+
+    workload: str
+    mitigation: str  # "rrs" or "scale-srs"
+    trh: int
+    rit_bytes: float
+    swap_buffer_bytes: float
+    place_back_buffer_bytes: float
+    epoch_register_bytes: float
+    pin_buffer_bytes: float
+    total_bytes: float
+    params: Optional[StorageParams] = None
+
+    @property
+    def total_kb(self) -> float:
+        """Total SRAM in KB (the Table IV unit)."""
+        return self.total_bytes / 1024.0
+
+
+@register_evaluation(
+    "storage",
+    params_cls=StorageParams,
+    result_cls=StorageResult,
+    subjects=("rrs", "scale-srs"),
+    scenario="table-iv",
+    description="per-bank SRAM storage inventory (Table IV)",
+    schema_version=1,
+    csv_header=(
+        "workload", "mitigation", "trh", "rit_kb", "swap_buffer_kb",
+        "place_back_kb", "epoch_register_kb", "pin_buffer_kb", "total_kb",
+        "direction_bit",
+    ),
+    csv_row=lambda r: [
+        r.workload, r.mitigation, r.trh,
+        f"{r.rit_bytes / 1024.0:.6g}",
+        f"{r.swap_buffer_bytes / 1024.0:.6g}",
+        f"{r.place_back_buffer_bytes / 1024.0:.6g}",
+        f"{r.epoch_register_bytes / 1024.0:.6g}",
+        f"{r.pin_buffer_bytes / 1024.0:.6g}",
+        f"{r.total_kb:.6g}",
+        r.params.direction_bit if r.params else "",
+    ],
+)
+def run_storage_cell(cell: ExperimentCell) -> StorageResult:
+    """Size one design's SRAM structures at one threshold."""
+    params: StorageParams = cell.params
+    breakdown = params.model().breakdown(params.trh, cell.mitigation)
+    return StorageResult(
+        workload=cell.workload,
+        mitigation=cell.mitigation,
+        trh=params.trh,
+        rit_bytes=breakdown.rit_bytes,
+        swap_buffer_bytes=breakdown.swap_buffer_bytes,
+        place_back_buffer_bytes=breakdown.place_back_buffer_bytes,
+        epoch_register_bytes=breakdown.epoch_register_bytes,
+        pin_buffer_bytes=breakdown.pin_buffer_bytes,
+        total_bytes=breakdown.total_bytes,
+        params=params,
+    )
+
+
+# ----------------------------------------------------------------------
+# power — the Table V DRAM/SRAM overheads
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Knobs of one power (Table V) cell; the storage knobs feed the
+    SRAM-power fit through :class:`StorageParams.model`."""
+
+    trh: int = 4800
+    direction_bit: bool = False
+
+    def model(self) -> PowerModel:
+        """The :class:`PowerModel` these parameters configure."""
+        return PowerModel(
+            storage=StorageParams(
+                trh=self.trh, direction_bit=self.direction_bit
+            ).model()
+        )
+
+
+@dataclass
+class PowerResult:
+    """Power overheads of one design at one threshold."""
+
+    #: Evaluation kind of this record.
+    kind: ClassVar[str] = "power"
+
+    workload: str
+    mitigation: str  # "rrs" or "scale-srs"
+    trh: int
+    dram_overhead_percent: float
+    sram_power_mw: float
+    params: Optional[PowerParams] = None
+
+
+@register_evaluation(
+    "power",
+    params_cls=PowerParams,
+    result_cls=PowerResult,
+    subjects=("rrs", "scale-srs"),
+    scenario="table-v",
+    description="DRAM/SRAM power overheads (Table V)",
+    schema_version=1,
+    csv_header=(
+        "workload", "mitigation", "trh", "dram_overhead_percent",
+        "sram_power_mw",
+    ),
+    csv_row=lambda r: [
+        r.workload, r.mitigation, r.trh,
+        f"{r.dram_overhead_percent:.6g}", f"{r.sram_power_mw:.6g}",
+    ],
+)
+def run_power_cell(cell: ExperimentCell) -> PowerResult:
+    """Compute one design's power overheads at one threshold."""
+    params: PowerParams = cell.params
+    breakdown = params.model().breakdown(params.trh, cell.mitigation)
+    return PowerResult(
+        workload=cell.workload,
+        mitigation=cell.mitigation,
+        trh=params.trh,
+        dram_overhead_percent=breakdown.dram_overhead_percent,
+        sram_power_mw=breakdown.sram_power_mw,
+        params=params,
+    )

@@ -1,8 +1,8 @@
 """Declarative experiments: specs, grids, parallel execution, result sets.
 
-This module is the front door for running performance studies. Instead
-of hand-rolled loops over workloads, mitigations, and thresholds, an
-experiment is *declared* once::
+This module is the front door for running *evaluations* — not just
+performance studies. Instead of hand-rolled loops over workloads,
+mitigations, and thresholds, an experiment is *declared* once::
 
     from repro.sim import ExperimentSpec, SimulationParams, run_grid
 
@@ -17,25 +17,50 @@ experiment is *declared* once::
 
 and the engine takes care of the rest:
 
+- **Evaluation kinds**: every cell carries a ``kind`` naming a
+  registered evaluation (:data:`repro.registry.EVALUATIONS`): ``perf``
+  is the performance simulator above; ``security`` (Juggernaut
+  time-to-break), ``storage`` (Table IV), and ``power`` (Table V) run
+  the paper's other evaluation legs through the same grids, pools,
+  stores, and exports (see :mod:`repro.sim.evaluations`)::
+
+      from repro.sim.evaluations import SecurityParams
+
+      spec = ExperimentSpec(
+          kind="security",
+          mitigations=["rrs", "srs"],
+          base_params=SecurityParams(iterations=100_000),
+          grid={"swap_rate": [6, 7, 8, 9, 10], "trh": [4800, 2400]},
+      )
+
 - **Grid expansion** applies each axis with :func:`dataclasses.replace`
-  over :class:`SimulationParams`, so new parameter fields are picked up
-  automatically and axis names are validated against the dataclass.
-- **Baseline deduplication**: a baseline run depends only on the
-  workload and the non-mitigation parameters (cores, trace length, time
-  scale, seed, policy, bank geometry — not the simulation engine, which
-  is bit-identical by contract), so the engine runs exactly one
-  baseline per unique combination instead of one per grid cell — a pure
-  waste multiplier in the old ``compare_mitigations``-per-cell pattern.
+  over the kind's parameter dataclass, so new parameter fields are
+  picked up automatically and axis names are validated against it.
+- **Baseline deduplication** (``perf`` only): a baseline run depends
+  only on the workload and the non-mitigation parameters (cores, trace
+  length, time scale, seed, policy, bank geometry — not the simulation
+  engine, which is bit-identical by contract), so the engine runs
+  exactly one baseline per unique combination instead of one per grid
+  cell — a pure waste multiplier in the old
+  ``compare_mitigations``-per-cell pattern.
 - **Parallel execution** fans cells out over a
   :class:`~concurrent.futures.ProcessPoolExecutor`. Every cell carries
   its full parameter record and seeds its own RNG streams, so results
   are deterministic and independent of scheduling order.
-- **Result sets** (:class:`ResultSet`) pair each result with its
-  matching baseline for normalization, aggregate per-suite geometric
-  means, and round-trip through JSON/CSV.
+- **Persistence** (``run_grid(store=...)``): completed cells land in a
+  content-addressed :class:`~repro.sim.store.ResultStore`, and already-
+  stored cells are reused bit-identically — interrupted grids resume,
+  repeated sweeps are incremental, and ``shard=(i, n)`` splits one grid
+  across processes or machines sharing a store
+  (see :mod:`repro.sim.store`).
+- **Result sets** (:class:`ResultSet`) hold results of heterogeneous
+  kinds, pair each ``perf`` result with its matching baseline for
+  normalization, aggregate per-suite geometric means, merge with other
+  sets, and round-trip through JSON/CSV.
 
-Mitigation names are validated against :mod:`repro.registry` before any
-process is spawned, so a typo fails in milliseconds, not minutes.
+Mitigation and kind names are validated against :mod:`repro.registry`
+before any process is spawned, so a typo fails in milliseconds, not
+minutes.
 """
 
 from __future__ import annotations
@@ -45,7 +70,7 @@ import io
 import itertools
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, fields, replace
 from typing import (
     Any,
@@ -62,8 +87,9 @@ from typing import (
 
 from repro.cpu.core import CoreResult
 from repro.dram.commands import PagePolicy
-from repro.registry import MITIGATIONS
+from repro.registry import EVALUATIONS, MITIGATIONS
 from repro.sim.engine import ENGINE_NAMES
+from repro.sim.store import ResultStore, cell_digest, shard_of
 from repro.sim.results import (
     SimulationResult,
     geometric_mean,
@@ -86,6 +112,14 @@ _PARAM_FIELDS = tuple(f.name for f in fields(SimulationParams))
 _MITIGATION_ONLY_FIELDS = ("trh", "swap_rate", "tracker", "engine")
 
 BASELINE = "baseline"
+
+#: The evaluation kind the engine defaults to (the performance simulator).
+PERF = "perf"
+
+
+def _kind_of(result: Any) -> str:
+    """Evaluation kind of a result record (``perf`` for legacy records)."""
+    return getattr(result, "kind", PERF)
 
 
 def resolve_workload(workload: WorkloadLike) -> Any:
@@ -118,6 +152,12 @@ def baseline_view(params: SimulationParams) -> SimulationParams:
 class ExperimentCell:
     """One (workload, mitigation, parameters) point of a grid.
 
+    ``kind`` names the registered evaluation that runs the cell; its
+    ``params`` is an instance of that kind's parameter dataclass
+    (:class:`SimulationParams` for ``perf``). For non-``perf`` kinds
+    ``workload`` is a scenario label and ``mitigation`` the evaluated
+    subject design.
+
     ``workload_spec`` carries an ad-hoc workload object (a suite
     :class:`WorkloadSpec`, a trace workload, ...) that is not resolvable
     by name; when ``None`` the engine resolves ``workload`` by name.
@@ -125,8 +165,9 @@ class ExperimentCell:
 
     workload: str
     mitigation: str
-    params: SimulationParams
+    params: Any
     workload_spec: Optional[Any] = None
+    kind: str = PERF
 
 
 @dataclass
@@ -135,59 +176,111 @@ class ExperimentSpec:
 
     Attributes:
         workloads: Workload names (or :class:`WorkloadSpec` instances).
+            For non-``perf`` kinds: optional scenario labels (defaults
+            to the kind's registered scenario).
         mitigations: Registered mitigation names; ``baseline`` need not
-            be listed — see ``include_baseline``.
-        base_params: Parameters shared by every cell.
-        grid: ``{SimulationParams field: [values]}`` axes; the cross
-            product of all axes is applied over ``base_params`` with
+            be listed — see ``include_baseline``. For non-``perf``
+            kinds: the subject designs the kind evaluates (for example
+            ``rrs``/``srs`` for ``security``).
+        base_params: Parameters shared by every cell — an instance of
+            the kind's parameter dataclass; ``None`` means that
+            dataclass's defaults.
+        grid: ``{parameter field: [values]}`` axes; the cross product
+            of all axes is applied over ``base_params`` with
             :func:`dataclasses.replace`.
         include_baseline: Run the matching baselines (deduplicated) so
             the :class:`ResultSet` can normalize. Disable only for
-            studies that never normalize.
+            studies that never normalize. ``perf`` only.
         replicates: Repeat every cell with seeds ``seed, seed+1, ...``
-            (deterministically derived); each replicate normalizes
-            against the baseline of its own seed.
+            (deterministically derived); each ``perf`` replicate
+            normalizes against the baseline of its own seed. Requires
+            the kind's parameters to carry a ``seed`` field.
+        kind: The registered evaluation kind cells run under
+            (:mod:`repro.sim.evaluations`); default ``perf``.
     """
 
-    workloads: Sequence[WorkloadLike]
-    mitigations: Sequence[str]
-    base_params: SimulationParams = field(default_factory=SimulationParams)
+    workloads: Sequence[WorkloadLike] = ()
+    mitigations: Sequence[str] = ()
+    base_params: Optional[Any] = None
     grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     include_baseline: bool = True
     replicates: int = 1
+    kind: str = PERF
+
+    def __post_init__(self) -> None:
+        """Default ``base_params`` to the kind's parameter dataclass."""
+        if self.base_params is None:
+            self.base_params = EVALUATIONS.get(self.kind).params_cls()
 
     def validate(self) -> None:
-        """Fail fast on unknown axes, workloads, mitigations, engines."""
-        if not self.workloads:
-            raise ValueError("an experiment needs at least one workload")
+        """Fail fast on unknown kinds, axes, workloads, subjects, engines."""
+        info = EVALUATIONS.get(self.kind)  # raises on unknown kinds
         if self.replicates < 1:
             raise ValueError("replicates must be at least 1")
+        param_fields = info.param_fields
+        if not isinstance(self.base_params, info.params_cls):
+            raise ValueError(
+                f"base_params for kind {self.kind!r} must be "
+                f"{info.params_cls.__name__}, got "
+                f"{type(self.base_params).__name__}"
+            )
         for axis in self.grid:
-            if axis not in _PARAM_FIELDS:
+            if axis not in param_fields:
                 raise ValueError(
                     f"unknown grid axis {axis!r}; "
-                    f"SimulationParams fields: {_PARAM_FIELDS}"
+                    f"{info.params_cls.__name__} fields: {param_fields}"
                 )
             if not self.grid[axis]:
                 raise ValueError(f"grid axis {axis!r} has no values")
-        for engine in {self.base_params.engine, *self.grid.get("engine", ())}:
-            if engine not in ENGINE_NAMES:
+        if self.replicates > 1 and "seed" not in param_fields:
+            raise ValueError(
+                f"kind {self.kind!r} has no seed parameter; "
+                "replicates must be 1"
+            )
+        if self.kind == PERF:
+            if not self.workloads:
+                raise ValueError("an experiment needs at least one workload")
+            for engine in {self.base_params.engine, *self.grid.get("engine", ())}:
+                if engine not in ENGINE_NAMES:
+                    raise ValueError(
+                        f"unknown engine {engine!r}; options: {ENGINE_NAMES}"
+                    )
+            for workload in self.workloads:
+                resolve_workload(workload)
+            for name in self.mitigations:
+                MITIGATIONS.get(name)  # raises ValueError on unknown names
+        else:
+            if not self.mitigations:
                 raise ValueError(
-                    f"unknown engine {engine!r}; options: {ENGINE_NAMES}"
+                    f"a {self.kind} experiment needs at least one subject "
+                    f"design; options: {info.subjects}"
                 )
-        for workload in self.workloads:
-            resolve_workload(workload)
-        for name in self.mitigations:
-            MITIGATIONS.get(name)  # raises ValueError on unknown names
+            for workload in self.workloads:
+                if not isinstance(workload, str):
+                    raise ValueError(
+                        f"kind {self.kind!r} takes string scenario labels, "
+                        f"not {type(workload).__name__}"
+                    )
+            if info.subjects is not None:
+                for name in self.mitigations:
+                    if name not in info.subjects:
+                        raise ValueError(
+                            f"unknown {self.kind} subject {name!r}; "
+                            f"options: {info.subjects}"
+                        )
 
     def workload_names(self) -> List[str]:
-        """Resolved workload names, declaration order."""
-        return [resolve_workload(w).name for w in self.workloads]
+        """Resolved workload names (or scenario labels), declaration order."""
+        return [name for name, _ in self._workload_entries()]
 
     def _workload_entries(self) -> List[Tuple[str, Optional[Any]]]:
         """(name, carried ad-hoc spec) per workload; workload objects
         (suite specs, trace workloads, ...) ride along so they need not
-        be resolvable by name in the worker process."""
+        be resolvable by name in the worker process. Non-``perf`` kinds
+        carry plain labels, defaulting to the kind's scenario."""
+        if self.kind != PERF:
+            labels = self.workloads or (EVALUATIONS.get(self.kind).scenario,)
+            return [(label, None) for label in labels]
         return [
             (
                 resolve_workload(w).name,
@@ -197,15 +290,17 @@ class ExperimentSpec:
         ]
 
     def mitigation_names(self) -> List[str]:
-        """Non-baseline mitigations, deduplicated, in declaration order."""
+        """Non-baseline mitigations (subject designs), deduplicated, in
+        declaration order."""
         ordered = dict.fromkeys(self.mitigations)
-        ordered.pop(BASELINE, None)
+        if self.kind == PERF:
+            ordered.pop(BASELINE, None)
         return list(ordered)
 
-    def param_grid(self) -> List[SimulationParams]:
+    def param_grid(self) -> List[Any]:
         """The expanded parameter combinations (one per grid point)."""
         axes = list(self.grid.items())
-        combos: List[SimulationParams] = []
+        combos: List[Any] = []
         for values in itertools.product(*(vals for _, vals in axes)):
             overrides = {name: value for (name, _), value in zip(axes, values)}
             combos.append(replace(self.base_params, **overrides))
@@ -218,11 +313,11 @@ class ExperimentSpec:
         return combos
 
     def cells(self) -> List[ExperimentCell]:
-        """Mitigation cells of the grid (baselines are planned by the
-        engine, which deduplicates them — see :func:`plan_cells`)."""
+        """Mitigation cells of the grid (``perf`` baselines are planned
+        by the engine, which deduplicates them — see :func:`plan_cells`)."""
         self.validate()
         return [
-            ExperimentCell(workload, mitigation, params, spec)
+            ExperimentCell(workload, mitigation, params, spec, kind=self.kind)
             for workload, spec in self._workload_entries()
             for mitigation in self.mitigation_names()
             for params in self.param_grid()
@@ -236,9 +331,12 @@ class ExperimentSpec:
         The dedup key ignores the simulation engine (engines are
         bit-identical), but the planned cell keeps the first-seen
         cell's requested engine so ``--engine batched`` speeds the
-        baselines up too.
+        baselines up too. ``perf`` only — the analytical kinds have no
+        baseline concept.
         """
         self.validate()
+        if self.kind != PERF:
+            raise ValueError(f"kind {self.kind!r} has no baselines")
         baselines: Dict[Tuple[str, SimulationParams], ExperimentCell] = {}
         for workload, spec in self._workload_entries():
             for params in self.param_grid():
@@ -256,26 +354,60 @@ class ExperimentSpec:
 def plan_cells(spec: ExperimentSpec) -> List[ExperimentCell]:
     """The engine's job list: deduplicated baselines plus mitigation cells.
 
-    Baselines are keyed on ``(workload, baseline_view(params))`` so a
-    TRH (or swap-rate, or tracker) sweep runs its baseline exactly once
-    per workload.
+    ``perf`` baselines are keyed on ``(workload, baseline_view(params))``
+    so a TRH (or swap-rate, or tracker) sweep runs its baseline exactly
+    once per workload. Non-``perf`` kinds plan their subject cells only.
     """
     cells = spec.cells()
+    if spec.kind != PERF:
+        return cells
     if not (spec.include_baseline or BASELINE in spec.mitigations):
         return cells
     return spec.baseline_cells() + cells
 
 
 def _simulate_cell(cell: ExperimentCell) -> SimulationResult:
-    """Run one cell (module-level so process pools can pickle it)."""
+    """Run one ``perf`` cell (module-level so process pools can pickle it)."""
     workload = cell.workload_spec or resolve_workload(cell.workload)
     return PerformanceSimulation(workload, cell.mitigation, cell.params).run()
+
+
+def _run_cell(cell: ExperimentCell) -> Any:
+    """Run one cell of any kind (module-level for process pools).
+
+    ``perf`` dispatches through this module's :func:`_simulate_cell`
+    (not the registry snapshot) so tests can instrument it; every other
+    kind runs its registered runner.
+    """
+    if cell.kind == PERF:
+        return _simulate_cell(cell)
+    return EVALUATIONS.get(cell.kind).runner(cell)
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Execution accounting of one :func:`run_grid` call.
+
+    Attributes:
+        planned: Cells in this run's slice (after shard selection).
+        executed: Cells actually computed this run.
+        reused: Cells served bit-identically from the result store.
+        shard: The ``(index, count)`` shard this run covered, if any.
+    """
+
+    planned: int
+    executed: int
+    reused: int
+    shard: Optional[Tuple[int, int]] = None
 
 
 def run_grid(
     spec: ExperimentSpec,
     max_workers: Optional[int] = None,
-    progress: Optional[Callable[[int, int, SimulationResult], None]] = None,
+    progress: Optional[Callable[[int, int, Any], None]] = None,
+    store: Optional[Union[str, ResultStore]] = None,
+    reuse: bool = True,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> "ResultSet":
     """Execute an experiment grid, in parallel when it pays.
 
@@ -285,30 +417,121 @@ def run_grid(
             count (capped at the job count), ``1`` forces serial
             in-process execution.
         progress: Optional ``(done, total, result)`` callback, invoked
-            in submission order as results arrive.
+            in plan order as results arrive (including reused ones).
+        store: A :class:`~repro.sim.store.ResultStore` (or its
+            directory path) persisting every computed cell. With
+            ``reuse`` (the default), cells already present are *not*
+            re-executed — their stored results are returned
+            bit-identically, which is what makes interrupted grids
+            resumable and repeated sweeps incremental.
+        reuse: Set ``False`` to recompute (and re-store) every cell
+            even when the store already holds it.
+        shard: ``(index, count)`` — run only this run's share of the
+            grid. The partition is digest-stable (see
+            :func:`~repro.sim.store.shard_of`): a cell's shard never
+            depends on what else is in the grid, so ``count`` runs with
+            the same shared store cover every cell exactly once and can
+            then be collected with a final ``--resume`` pass or
+            :meth:`ResultSet.merge`.
 
     Results are deterministic: each cell derives every RNG stream from
     its own parameters, so scheduling order cannot leak into numbers.
+    The returned set carries a :class:`RunStats` in ``run_stats``.
     """
     jobs = plan_cells(spec)
+    if shard is not None:
+        index, count = shard
+        if not 0 <= index < count:
+            raise ValueError(f"shard index {index} outside 0..{count - 1}")
+        jobs = [cell for cell in jobs if shard_of(cell, count) == index]
+    if isinstance(store, str):
+        store = ResultStore(store)
+
+    # One digest per cell for the whole run: fingerprinting a trace
+    # workload stats its files, so the reuse scan and the write-back
+    # share the computation instead of repeating it.
+    digests: Dict[int, str] = {}
+    if store is not None:
+        digests = {
+            position: cell_digest(cell) for position, cell in enumerate(jobs)
+        }
+
+    cached: Dict[int, Any] = {}
+    if store is not None and reuse:
+        for position, cell in enumerate(jobs):
+            hit = store.get(cell, digest=digests[position])
+            if hit is not None:
+                cached[position] = hit
+    pending = [
+        (position, cell)
+        for position, cell in enumerate(jobs)
+        if position not in cached
+    ]
+
     if max_workers is None:
         max_workers = os.cpu_count() or 1
-    max_workers = max(1, min(max_workers, len(jobs)))
+    max_workers = max(1, min(max_workers, max(1, len(pending))))
 
-    results: List[SimulationResult] = []
-    if max_workers == 1:
-        for index, cell in enumerate(jobs):
-            result = _simulate_cell(cell)
-            results.append(result)
-            if progress is not None:
-                progress(index + 1, len(jobs), result)
+    by_position: Dict[int, Any] = dict(cached)
+    reported = 0
+
+    def record(position: int, result: Any) -> None:
+        """Persist and file one computed result the moment it exists —
+        out-of-order completions reach the store immediately, so a
+        killed parallel run keeps everything that actually finished."""
+        nonlocal reported
+        if store is not None:
+            store.put(jobs[position], result, digest=digests[position])
+        by_position[position] = result
+        if progress is not None:
+            # Report the contiguous completed prefix, in plan order.
+            while reported in by_position:
+                progress(reported + 1, len(jobs), by_position[reported])
+                reported += 1
+
+    if progress is not None:
+        # Reused cells forming the plan prefix are reportable at once.
+        while reported in by_position:
+            progress(reported + 1, len(jobs), by_position[reported])
+            reported += 1
+    if max_workers == 1 or not pending:
+        for position, cell in pending:
+            record(position, _run_cell(cell))
     else:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            for index, result in enumerate(pool.map(_simulate_cell, jobs)):
-                results.append(result)
-                if progress is not None:
-                    progress(index + 1, len(jobs), result)
-    return ResultSet(results)
+            futures = {
+                pool.submit(_run_cell, cell): position
+                for position, cell in pending
+            }
+            failed: Optional[Tuple[int, Exception]] = None
+            for future in as_completed(futures):
+                position = futures[future]
+                try:
+                    result = future.result()
+                except Exception as error:
+                    # Keep draining: completed cells still reach the
+                    # store, so a --resume after the failure recomputes
+                    # only the failed cell, not everything in flight.
+                    if failed is None:
+                        failed = (position, error)
+                    continue
+                record(position, result)
+            if failed is not None:
+                position, error = failed
+                cell = jobs[position]
+                raise RuntimeError(
+                    f"cell ({cell.kind}, {cell.workload!r}, "
+                    f"{cell.mitigation!r}) failed: {error}"
+                ) from error
+
+    result_set = ResultSet([by_position[i] for i in range(len(jobs))])
+    result_set.run_stats = RunStats(
+        planned=len(jobs),
+        executed=len(pending),
+        reused=len(cached),
+        shard=shard,
+    )
+    return result_set
 
 
 # ----------------------------------------------------------------------
@@ -360,29 +583,93 @@ def result_from_dict(data: Mapping[str, Any]) -> SimulationResult:
     )
 
 
-class ResultSet:
-    """An ordered collection of simulation results with analysis helpers.
+def _result_identity(result: Any) -> Tuple[Any, ...]:
+    """Hashable cell identity of a result record (for :meth:`ResultSet.merge`).
 
-    The set pairs every mitigation result with its baseline (same
-    workload, same baseline-relevant parameters) for normalization, and
-    offers the filtering/aggregation/export operations the benchmarks
-    and the CLI are built from.
+    Results are deterministic functions of (kind, workload, mitigation,
+    params), so this tuple identifies a cell — via the kind's *identity*
+    view of the params (for ``perf`` the simulation engine is ignored:
+    engines are bit-identical, so records differing only in engine are
+    interchangeable). Records lacking a parameter record (legacy JSON)
+    fall back to their headline fields.
+    """
+    kind = _kind_of(result)
+    params = getattr(result, "params", None)
+    if params is None:
+        return (
+            kind,
+            result.workload,
+            result.mitigation,
+            result.trh,
+            getattr(result, "swap_rate", None),
+            getattr(result, "tracker", None),
+        )
+    info = EVALUATIONS.get(kind)
+    return (
+        kind,
+        result.workload,
+        result.mitigation,
+        json.dumps(info.key_params(params), sort_keys=True, default=str),
+    )
+
+
+class ResultSet:
+    """An ordered collection of evaluation results with analysis helpers.
+
+    A set may hold results of heterogeneous evaluation kinds (``perf``
+    simulations next to ``security``/``storage``/``power`` records);
+    filtering, merging, and JSON round-trips work across kinds, CSV
+    export requires a single kind (``of_kind`` first), and the
+    performance analytics (normalization, geomeans, sweeps) operate on
+    the ``perf`` subset. For ``perf``, the set pairs every mitigation
+    result with its baseline (same workload, same baseline-relevant
+    parameters) for normalization — the operations the benchmarks and
+    the CLI are built from.
     """
 
-    def __init__(self, results: Sequence[SimulationResult]):
+    def __init__(self, results: Sequence[Any]):
         self.results = list(results)
+        #: Execution accounting when this set came from :func:`run_grid`
+        #: (a :class:`RunStats`), else ``None``.
+        self.run_stats: Optional[RunStats] = None
 
     # -- collection protocol ------------------------------------------
 
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self) -> Iterator[SimulationResult]:
+    def __iter__(self) -> Iterator[Any]:
         return iter(self.results)
 
     def extend(self, other: "ResultSet") -> "ResultSet":
         """A new set holding both collections' results."""
         return ResultSet(self.results + other.results)
+
+    def merge(self, *others: "ResultSet") -> "ResultSet":
+        """Union of this set and ``others`` with duplicate cells dropped.
+
+        Two results are duplicates when they describe the same cell —
+        same kind, workload, mitigation, and parameter record (results
+        are deterministic in those, so the records are interchangeable;
+        the first occurrence wins). This is how shard runs against a
+        shared store are collected into one set.
+        """
+        merged: Dict[Any, Any] = {}
+        for result_set in (self,) + others:
+            for result in result_set.results:
+                merged.setdefault(_result_identity(result), result)
+        return ResultSet(list(merged.values()))
+
+    # -- kinds --------------------------------------------------------
+
+    @property
+    def kinds(self) -> List[str]:
+        """Evaluation kinds present in the set, first-seen order."""
+        return list(dict.fromkeys(_kind_of(r) for r in self.results))
+
+    def of_kind(self, kind: str) -> "ResultSet":
+        """Subset holding only ``kind`` results."""
+        return ResultSet([r for r in self.results if _kind_of(r) == kind])
 
     # -- filtering ----------------------------------------------------
 
@@ -393,13 +680,15 @@ class ResultSet:
         suite: Optional[str] = None,
         trh: Optional[int] = None,
         tracker: Optional[str] = None,
-        where: Optional[Callable[[SimulationResult], bool]] = None,
+        where: Optional[Callable[[Any], bool]] = None,
     ) -> "ResultSet":
-        """Subset by exact field values (baselines are always retained so
-        normalization keeps working on the filtered set)."""
+        """Subset by exact field values (``perf`` baselines are always
+        retained so normalization keeps working on the filtered set).
+        Fields a kind does not carry (``suite``/``tracker``) only match
+        the ``None`` filter."""
 
-        def keep(result: SimulationResult) -> bool:
-            if result.mitigation == BASELINE:
+        def keep(result: Any) -> bool:
+            if _kind_of(result) == PERF and result.mitigation == BASELINE:
                 return workload in (None, result.workload) and suite in (
                     None,
                     result.suite,
@@ -407,9 +696,9 @@ class ResultSet:
             return (
                 workload in (None, result.workload)
                 and mitigation in (None, result.mitigation)
-                and suite in (None, result.suite)
+                and suite in (None, getattr(result, "suite", None))
                 and trh in (None, result.trh)
-                and tracker in (None, result.tracker)
+                and tracker in (None, getattr(result, "tracker", None))
                 and (where is None or where(result))
             )
 
@@ -437,14 +726,14 @@ class ResultSet:
             reverse=True,
         )
 
-    # -- normalization ------------------------------------------------
+    # -- normalization (perf results only) ----------------------------
 
     def baseline_for(self, result: SimulationResult) -> SimulationResult:
         """The baseline run matching ``result``'s workload and parameters."""
         want = baseline_view(result.params) if result.params else None
         fallback = None
         for candidate in self.results:
-            if candidate.mitigation != BASELINE:
+            if _kind_of(candidate) != PERF or candidate.mitigation != BASELINE:
                 continue
             if candidate.workload != result.workload:
                 continue
@@ -472,6 +761,8 @@ class ResultSet:
         """
         table: Dict[str, Dict[str, float]] = {}
         for result in self.results:
+            if _kind_of(result) != PERF:
+                continue
             if result.mitigation == BASELINE:
                 table.setdefault(result.workload, {})
                 continue
@@ -488,6 +779,8 @@ class ResultSet:
         """``{trh: normalized performance}`` for one workload+mitigation."""
         out: Dict[int, float] = {}
         for result in self.results:
+            if _kind_of(result) != PERF:
+                continue
             if result.workload == workload and result.mitigation == mitigation:
                 out[result.trh] = self.normalized(result)
         return out
@@ -497,7 +790,7 @@ class ResultSet:
         ``ALL`` row aggregating every workload."""
         buckets: Dict[str, Dict[str, List[float]]] = {}
         for result in self.results:
-            if result.mitigation == BASELINE:
+            if _kind_of(result) != PERF or result.mitigation == BASELINE:
                 continue
             value = self.normalized(result)
             for suite in (result.suite, "ALL"):
@@ -512,23 +805,39 @@ class ResultSet:
     def geomean(self, mitigation: str) -> float:
         """Cross-workload geometric mean for one mitigation."""
         values = [
-            self.normalized(r) for r in self.results if r.mitigation == mitigation
+            self.normalized(r)
+            for r in self.results
+            if _kind_of(r) == PERF and r.mitigation == mitigation
         ]
         return geometric_mean(values)
 
     # -- export -------------------------------------------------------
 
     def to_json(self) -> str:
-        """Serialize every result (including parameter records)."""
-        return json.dumps(
-            {"results": [result_to_dict(r) for r in self.results]}, indent=2
-        )
+        """Serialize every result (including parameter records).
+
+        Each record is serialized by its kind's registered hooks and
+        tagged with the kind, so heterogeneous sets round-trip.
+        """
+        records = []
+        for result in self.results:
+            kind = _kind_of(result)
+            record = {"kind": kind}
+            record.update(EVALUATIONS.get(kind).result_to_dict(result))
+            records.append(record)
+        return json.dumps({"results": records}, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "ResultSet":
-        """Inverse of :meth:`to_json`."""
+        """Inverse of :meth:`to_json` (untagged legacy records load as
+        ``perf``)."""
         data = json.loads(text)
-        return cls([result_from_dict(r) for r in data["results"]])
+        results = []
+        for record in data["results"]:
+            payload = dict(record)
+            kind = payload.pop("kind", PERF)
+            results.append(EVALUATIONS.get(kind).result_from_dict(payload))
+        return cls(results)
 
     def save(self, path: str) -> None:
         """Write the JSON serialization to ``path``."""
@@ -541,9 +850,37 @@ class ResultSet:
         with open(path, encoding="utf-8") as handle:
             return cls.from_json(handle.read())
 
-    def to_csv(self) -> str:
-        """Flat CSV: one row per result, with normalized performance
-        where a matching baseline exists."""
+    def to_csv(self, kind: Optional[str] = None) -> str:
+        """Flat CSV: one row per result.
+
+        The columns are the kind's; a mixed-kind set has no single
+        header, so export each ``of_kind`` subset separately. Pass
+        ``kind`` explicitly to pin the header when the set may be empty
+        (an empty shard slice would otherwise have no kind to infer —
+        the engine-backed CLI commands pass their spec's kind). ``perf``
+        rows carry normalized performance where a matching baseline
+        exists; the other kinds use their registered column hooks.
+        """
+        kinds = self.kinds
+        if kind is None:
+            if len(kinds) > 1:
+                raise ValueError(
+                    f"CSV export needs a single evaluation kind, set has "
+                    f"{kinds}; export each .of_kind(...) subset separately"
+                )
+            kind = kinds[0] if kinds else PERF
+        elif any(k != kind for k in kinds):
+            raise ValueError(
+                f"CSV export for kind {kind!r}, but the set holds {kinds}"
+            )
+        if kind != PERF:
+            info = EVALUATIONS.get(kind)
+            buffer = io.StringIO()
+            writer = csv.writer(buffer)
+            writer.writerow(info.csv_header)
+            for result in self.results:
+                writer.writerow(info.csv_row(result))
+            return buffer.getvalue()
         buffer = io.StringIO()
         writer = csv.writer(buffer)
         writer.writerow(

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Sequence
 
 from repro.cpu.core import CoreResult
 
@@ -15,6 +15,11 @@ if TYPE_CHECKING:  # avoid a runtime cycle with repro.sim.simulator
 @dataclass
 class SimulationResult:
     """Outcome of simulating one workload under one mitigation."""
+
+    #: Evaluation kind of this record (see :mod:`repro.sim.evaluations`);
+    #: heterogeneous :class:`~repro.sim.experiment.ResultSet`s dispatch
+    #: serialization and analytics on it.
+    kind: ClassVar[str] = "perf"
 
     workload: str
     suite: str

@@ -1,0 +1,254 @@
+"""Content-addressed persistent store for experiment-cell results.
+
+Every grid cell is deterministic in its own description — evaluation
+kind, workload, mitigation, and full parameter record — so a completed
+cell never needs to run twice. This module keys each result under a
+stable SHA-256 digest of that description (plus the kind's schema
+version) and persists it as one JSON file per cell::
+
+    store/
+      a3f09c...e1.json     {"kind": ..., "schema_version": ...,
+      77b2d4...09.json      "cell": {...}, "result": {...}}
+
+which buys the experiment engine three properties:
+
+- **Resumability**: ``run_grid(spec, store=...)`` skips cells the store
+  already holds, returning their stored results bit-identically — a
+  killed grid rerun against the same store executes only the missing
+  cells.
+- **Incrementality**: growing a sweep (more TRH points, another
+  workload) recomputes only the new cells; the digest of an existing
+  cell does not depend on what else is in the grid.
+- **Sharding**: :func:`shard_of` partitions cells by digest, so ``n``
+  processes (or machines) each running ``shard=(i, n)`` against one
+  shared store cover the grid exactly once, in any order, with no
+  coordination.
+
+Safety: writes are atomic (temp file + ``os.replace``); a corrupted,
+truncated, or foreign file is treated as a miss (the cell reruns and
+the entry is rewritten); a schema-version bump in the kind's
+registration invalidates its stored cells by changing their digests,
+and the version recorded inside each payload is verified on read as a
+second line of defense.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.registry import EVALUATIONS
+
+
+def _workload_fingerprint(cell: Any) -> Optional[Any]:
+    """Content token of a file-backed workload, or ``None``.
+
+    Synthetic workloads are pure functions of the cell's parameters, so
+    name + params identify them; a file-backed workload (a recorded
+    trace) can change on disk under the same name, so its source object
+    contributes a ``store_fingerprint()`` (mtime/size per file — the
+    same invalidation key the trace cache uses) to the cell identity.
+    Unresolvable workloads and fingerprint errors degrade to ``None``:
+    the digest then covers name + params only, and the actual run will
+    surface the underlying problem.
+    """
+    workload = cell.workload_spec
+    if workload is None and ":" in str(cell.workload):
+        from repro.workloads.sources import resolve_workload_string
+
+        try:
+            workload = resolve_workload_string(cell.workload)
+        except Exception:
+            return None
+    hook = getattr(workload, "store_fingerprint", None)
+    if not callable(hook):
+        return None
+    try:
+        return hook()
+    except OSError:
+        return None
+
+
+def cell_key(cell: Any, with_fingerprint: bool = True) -> Dict[str, Any]:
+    """The JSON-ready identity record of a cell.
+
+    Covers everything the cell's result is a function of: evaluation
+    kind, schema version, workload name, mitigation/subject, and the
+    kind's *identity view* of the parameter record
+    (:meth:`~repro.registry.EvaluationInfo.key_params` — for ``perf``
+    this drops the simulation engine, which is bit-identical by
+    contract, so a store filled under one engine serves the other).
+    With ``with_fingerprint`` (store addressing), file-backed workloads
+    additionally contribute a content fingerprint (see
+    :func:`_workload_fingerprint`), so re-recording a trace under the
+    same path invalidates its stored cells instead of silently serving
+    results for the old contents; shard assignment leaves it out so the
+    partition is portable across machines whose file timestamps differ.
+    Other ad-hoc workload objects carried by ``workload_spec`` are keyed
+    by their name, like named workloads — two specs sharing a name and
+    parameters are assumed interchangeable, which holds for the
+    synthetic suite.
+    """
+    info = EVALUATIONS.get(cell.kind)
+    key = {
+        "kind": cell.kind,
+        "schema_version": info.schema_version,
+        "workload": cell.workload,
+        "mitigation": cell.mitigation,
+        "params": info.key_params(cell.params),
+    }
+    if with_fingerprint:
+        fingerprint = _workload_fingerprint(cell)
+        if fingerprint is not None:
+            key["workload_fingerprint"] = fingerprint
+    return key
+
+
+def cell_digest(cell: Any, with_fingerprint: bool = True) -> str:
+    """Stable SHA-256 hex digest of :func:`cell_key` (the store address).
+
+    Canonicalized with sorted keys and exact float ``repr``, so the
+    digest is identical across processes, machines, and Python runs —
+    never derived from randomized ``hash()``.
+    """
+    payload = json.dumps(
+        cell_key(cell, with_fingerprint=with_fingerprint),
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def shard_of(cell: Any, count: int) -> int:
+    """The shard (``0..count-1``) a cell belongs to in a ``count``-way split.
+
+    Digest-based, so the partition is *axis-stable*: a cell's shard
+    depends only on the cell itself, never on grid size or axis order —
+    extending a sweep cannot migrate existing cells between shards (and
+    thus cannot invalidate per-shard stores or restart balanced work).
+    The digest here excludes the workload content fingerprint — shard
+    membership is a function of the cell's *description*, so machines
+    holding the same trace under different mtimes still agree on the
+    partition. Every cell lands in exactly one shard (completeness and
+    disjointness are by construction of ``% count``).
+    """
+    if count < 1:
+        raise ValueError("shard count must be at least 1")
+    return int(cell_digest(cell, with_fingerprint=False), 16) % count
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a CLI ``i/n`` shard spec into ``(index, count)``.
+
+    ``index`` is zero-based: ``--shard 0/4 .. 3/4`` covers a grid.
+    """
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard spec {text!r} is not of the form i/n (e.g. 0/4)"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"shard spec {text!r} needs 0 <= i < n (zero-based index)"
+        )
+    return index, count
+
+
+class ResultStore:
+    """A directory of completed experiment cells, one JSON file each.
+
+    Args:
+        path: Store directory (created on first use). Safe to share
+            between concurrent shard runs: cells are single files,
+            written atomically, and two runs computing the same cell
+            write identical bytes.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        os.makedirs(path, exist_ok=True)
+
+    def _cell_path(self, cell: Any, digest: Optional[str] = None) -> str:
+        return os.path.join(self.path, (digest or cell_digest(cell)) + ".json")
+
+    def __contains__(self, cell: Any) -> bool:
+        return self.get(cell) is not None
+
+    def __len__(self) -> int:
+        """Number of (well-formed or not) cell files currently stored."""
+        return sum(1 for _ in self._entry_files())
+
+    def _entry_files(self) -> Iterator[str]:
+        try:
+            names = sorted(os.listdir(self.path))
+        except FileNotFoundError:
+            return
+        for name in names:
+            if name.endswith(".json"):
+                yield os.path.join(self.path, name)
+
+    def get(self, cell: Any, digest: Optional[str] = None) -> Optional[Any]:
+        """The stored result of ``cell``, or ``None`` on any miss.
+
+        A miss is: no entry, unreadable/corrupt JSON, a kind or
+        schema-version mismatch inside the payload, or a result record
+        that fails to deserialize. Every miss is recoverable — the
+        engine reruns the cell and :meth:`put` rewrites the entry.
+        ``digest`` short-circuits the address computation when the
+        caller already holds :func:`cell_digest` of the cell (the
+        engine computes it once per cell — fingerprinting a trace
+        workload stats its files).
+        """
+        info = EVALUATIONS.get(cell.kind)
+        try:
+            with open(self._cell_path(cell, digest), encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("kind") != cell.kind:
+                return None
+            if payload.get("schema_version") != info.schema_version:
+                return None
+            return info.result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, cell: Any, result: Any, digest: Optional[str] = None) -> str:
+        """Persist ``cell``'s result atomically; returns the entry path.
+
+        ``digest`` reuses a precomputed :func:`cell_digest` (see
+        :meth:`get`).
+        """
+        info = EVALUATIONS.get(cell.kind)
+        payload = {
+            "kind": cell.kind,
+            "schema_version": info.schema_version,
+            # Provenance only (reads never consult it); fingerprint-free
+            # so the write path does not re-stat trace files — the
+            # fingerprint already lives in the entry's address.
+            "cell": cell_key(cell, with_fingerprint=False),
+            "result": info.result_to_dict(result),
+        }
+        path = self._cell_path(cell, digest)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=self.path,
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path

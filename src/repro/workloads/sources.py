@@ -31,6 +31,7 @@ simulator hot path — which is what makes record→replay bit-deterministic.
 
 from __future__ import annotations
 
+import os
 import re
 from dataclasses import dataclass
 from pathlib import Path
@@ -131,6 +132,23 @@ class TraceWorkload:
     def columns_for_file(self, file_path: str):
         """Cached ``(gaps, is_write, addresses)`` columns of one file."""
         return load_trace_columns(file_path, name=file_path)
+
+    def store_fingerprint(self) -> List[Tuple[str, int, int]]:
+        """Content token for the result store: ``(basename, mtime_ns,
+        size)`` per backing file, core order.
+
+        The same invalidation key the parsed-trace cache uses: replaying
+        the identical path after re-recording it must be a different
+        cell as far as persisted results are concerned (see
+        :mod:`repro.sim.store`).
+        """
+        out = []
+        for file_path in self.core_files():
+            stat = os.stat(file_path)
+            out.append(
+                (os.path.basename(file_path), stat.st_mtime_ns, stat.st_size)
+            )
+        return out
 
     def arrays_for_core(
         self, core_id: int, params: Any, organization: DRAMOrganization

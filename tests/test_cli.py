@@ -164,6 +164,96 @@ class TestCommands:
         out = capsys.readouterr().out
         assert f"trace:{out_dir}" in out and "GEOMEAN" in out
 
+    def test_attack_with_monte_carlo(self, capsys):
+        code = main([
+            "attack", "--trh", "4800", "--swap-rate", "6",
+            "--iterations", "500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Monte-Carlo (500 iters)" in out
+
+    def test_security_sweep_jobs_and_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "sec.csv"
+        json_path = tmp_path / "sec.json"
+        code = main([
+            "security-sweep", "--trh", "4800", "--rates", "8,6",
+            "--jobs", "2", "--csv", str(csv_path), "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()]
+        # Rows follow the requested rate order, not completion order.
+        rate_rows = [l.split()[0] for l in lines[1:3]]
+        assert rate_rows == ["8.0", "6.0"]
+        from repro.sim import ResultSet
+        reloaded = ResultSet.load(str(json_path))
+        assert reloaded.kinds == ["security"]
+        assert len(reloaded) == 4  # 2 designs x 2 rates
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("workload,mitigation,trh,swap_rate")
+
+    def test_security_sweep_multiple_trh(self, capsys):
+        code = main([
+            "security-sweep", "--trh", "4800", "2400", "--rates", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TRH = 4800" in out and "TRH = 2400" in out
+
+    def test_storage_and_power_export(self, capsys, tmp_path):
+        storage_csv = tmp_path / "storage.csv"
+        assert main(["storage", "--csv", str(storage_csv)]) == 0
+        assert storage_csv.read_text().startswith("workload,mitigation,trh")
+        power_json = tmp_path / "power.json"
+        assert main(["power", "--json", str(power_json)]) == 0
+        capsys.readouterr()
+        from repro.sim import ResultSet
+        assert ResultSet.load(str(power_json)).kinds == ["power"]
+
+    def test_security_sweep_store_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        argv = ["security-sweep", "--trh", "4800", "--rates", "6,8",
+                "--store", store]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "executed 4, reused 0" in first
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "executed 0, reused 4" in second
+
+    def test_resume_requires_store(self):
+        with pytest.raises(SystemExit, match="--resume needs --store"):
+            main(["security-sweep", "--resume"])
+
+    def test_shard_flag_parsed_and_validated(self):
+        args = build_parser().parse_args(["grid", "--shard", "1/4"])
+        assert args.shard == (1, 4)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["grid", "--shard", "4/4"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["grid", "--shard", "nope"])
+
+    def test_grid_store_resume_and_shard(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        argv = [
+            "grid", "--workloads", "povray", "--trh", "1200", "--cores", "1",
+            "--requests", "1500", "--mitigations", "rrs", "--jobs", "1",
+            "--store", store,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "executed 2, reused 0" in first
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "executed 0, reused 2" in second
+        # A shard run prints raw summaries (its baseline may live in
+        # another shard) and touches only its own slice.
+        assert main(argv + ["--resume", "--shard", "0/2"]) == 0
+        shard_out = capsys.readouterr().out
+        assert "shard 0/2" in shard_out and "executed 0" in shard_out
+        assert "GEOMEAN" not in shard_out
+
     def test_grid_small_with_export(self, capsys, tmp_path):
         csv_path = tmp_path / "grid.csv"
         json_path = tmp_path / "grid.json"

@@ -1,0 +1,350 @@
+"""Tests for the content-addressed result store and grid sharding."""
+
+import dataclasses
+import json
+import os
+from typing import ClassVar
+
+import pytest
+
+import repro.sim.experiment as experiment
+from repro.registry import EVALUATIONS, register_evaluation
+from repro.sim import (
+    ExperimentSpec,
+    ResultStore,
+    SecurityParams,
+    SimulationParams,
+    cell_digest,
+    parse_shard,
+    plan_cells,
+    run_grid,
+    shard_of,
+)
+
+STORAGE = ExperimentSpec(
+    kind="storage",
+    mitigations=["rrs", "scale-srs"],
+    grid={"trh": [4800, 2400, 1200]},
+)
+
+PERF = ExperimentSpec(
+    workloads=["povray"],
+    mitigations=["rrs"],
+    base_params=SimulationParams(
+        trh=1200, num_cores=1, requests_per_core=1500, time_scale=32, seed=7
+    ),
+)
+
+
+# Module-level (picklable) pieces for the parallel-failure test: a kind
+# whose "boom" subject always raises.
+@dataclasses.dataclass(frozen=True)
+class FlakyParams:
+    trh: int = 0
+
+
+@dataclasses.dataclass
+class FlakyResult:
+    kind: ClassVar[str] = "flaky-kind"
+
+    workload: str
+    mitigation: str
+    trh: int
+    params: object = None
+
+
+def run_flaky_cell(cell):
+    if cell.mitigation == "boom":
+        raise RuntimeError("boom")
+    return FlakyResult(cell.workload, cell.mitigation, cell.params.trh,
+                       cell.params)
+
+
+def entry_files(store_dir):
+    return sorted(
+        name for name in os.listdir(str(store_dir)) if name.endswith(".json")
+    )
+
+
+class TestDigest:
+    def test_digest_is_stable_and_param_sensitive(self):
+        cells = plan_cells(STORAGE)
+        assert cell_digest(cells[0]) == cell_digest(cells[0])
+        digests = {cell_digest(c) for c in cells}
+        assert len(digests) == len(cells)  # every cell gets its own key
+
+    def test_digest_ignores_the_perf_engine(self):
+        """Engines are bit-identical by contract, so a store filled
+        under one engine must serve resumes under the other."""
+        def cell_for(engine):
+            spec = dataclasses.replace(
+                PERF, base_params=dataclasses.replace(
+                    PERF.base_params, engine=engine
+                )
+            )
+            return plan_cells(spec)[-1]
+
+        scalar, batched = cell_for("scalar"), cell_for("batched")
+        assert cell_digest(scalar) == cell_digest(batched)
+
+    def test_store_serves_across_engines(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_grid(PERF, max_workers=1, store=store)
+        other = dataclasses.replace(
+            PERF, base_params=dataclasses.replace(
+                PERF.base_params, engine="batched"
+            )
+        )
+        resumed = run_grid(other, max_workers=1, store=store)
+        assert resumed.run_stats.executed == 0
+
+    def test_merge_dedups_across_engines(self):
+        scalar = run_grid(PERF, max_workers=1)
+        batched = run_grid(
+            dataclasses.replace(
+                PERF, base_params=dataclasses.replace(
+                    PERF.base_params, engine="batched"
+                )
+            ),
+            max_workers=1,
+        )
+        assert len(scalar.merge(batched)) == len(scalar)
+
+    def test_trace_recording_changes_invalidate_stored_cells(self, tmp_path):
+        """Re-recording a trace under the same path must change the cell
+        digest — otherwise --resume would silently serve results for the
+        old contents."""
+        from repro.sim import SimulationParams, record_workload
+        from repro.sim.experiment import resolve_workload
+
+        out_dir = str(tmp_path / "rec")
+        record_params = SimulationParams(
+            num_cores=1, requests_per_core=400, seed=3
+        )
+        record_workload(resolve_workload("povray"), record_params,
+                        out_dir=out_dir)
+        spec = ExperimentSpec(
+            workloads=[f"trace:{out_dir}"],
+            mitigations=["rrs"],
+            base_params=dataclasses.replace(
+                PERF.base_params, requests_per_core=400
+            ),
+        )
+        before = [cell_digest(c) for c in plan_cells(spec)]
+        assert before == [cell_digest(c) for c in plan_cells(spec)]
+        shards_before = [shard_of(c, 4) for c in plan_cells(spec)]
+        record_workload(
+            resolve_workload("povray"),
+            dataclasses.replace(record_params, seed=4),
+            out_dir=out_dir,
+        )
+        after = [cell_digest(c) for c in plan_cells(spec)]
+        assert all(a != b for a, b in zip(after, before))
+        # ...but shard membership is fingerprint-free: machines holding
+        # the trace under different mtimes agree on the partition.
+        assert [shard_of(c, 4) for c in plan_cells(spec)] == shards_before
+
+    def test_digest_covers_the_kind(self):
+        storage_cell = plan_cells(STORAGE)[0]
+        security_cell = plan_cells(
+            ExperimentSpec(
+                kind="security", mitigations=["rrs"],
+                base_params=SecurityParams(trh=storage_cell.params.trh),
+            )
+        )[0]
+        assert cell_digest(storage_cell) != cell_digest(security_cell)
+
+
+class TestSharding:
+    def test_partition_complete_and_disjoint(self):
+        cells = plan_cells(STORAGE)
+        for count in (1, 2, 3, 5):
+            shards = [
+                [c for c in cells if shard_of(c, count) == i]
+                for i in range(count)
+            ]
+            assert sum(len(s) for s in shards) == len(cells)
+            digests = [cell_digest(c) for shard in shards for c in shard]
+            assert len(set(digests)) == len(cells)
+
+    def test_partition_is_axis_stable(self):
+        """Extending a grid axis never migrates existing cells between
+        shards (the digest depends on the cell alone)."""
+        small = plan_cells(STORAGE)
+        grown = plan_cells(
+            dataclasses.replace(STORAGE, grid={"trh": [4800, 2400, 1200, 600]})
+        )
+        before = {cell_digest(c): shard_of(c, 4) for c in small}
+        after = {cell_digest(c): shard_of(c, 4) for c in grown}
+        for digest, shard in before.items():
+            assert after[digest] == shard
+
+    def test_shard_runs_merge_into_the_full_grid(self, tmp_path):
+        full = run_grid(STORAGE, max_workers=1)
+        store = str(tmp_path / "store")
+        parts = [
+            run_grid(STORAGE, max_workers=1, store=store, shard=(i, 3))
+            for i in range(3)
+        ]
+        assert sum(len(p) for p in parts) == len(full)
+        merged = parts[0].merge(*parts[1:])
+        assert {cell_digest(c) for c in plan_cells(STORAGE)} == {
+            name[: -len(".json")] for name in entry_files(store)
+        }
+        # A final resume pass collects everything without executing.
+        collected = run_grid(STORAGE, max_workers=1, store=store)
+        assert collected.run_stats.executed == 0
+        assert collected.to_json() == full.to_json()
+        assert len(merged) == len(full)
+
+    def test_bad_shard_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            run_grid(STORAGE, max_workers=1, shard=(3, 3))
+
+    def test_parse_shard(self):
+        assert parse_shard("0/4") == (0, 4)
+        assert parse_shard("3/4") == (3, 4)
+        for bad in ("4/4", "x/4", "2", "-1/4", "0/0"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+
+class TestResultStore:
+    def test_round_trip_bit_identical(self, tmp_path):
+        store = str(tmp_path / "store")
+        first = run_grid(STORAGE, max_workers=1, store=store)
+        assert first.run_stats.executed == len(first)
+        second = run_grid(STORAGE, max_workers=1, store=store)
+        assert second.run_stats.executed == 0
+        assert second.run_stats.reused == len(first)
+        assert second.to_json() == first.to_json()
+
+    def test_resume_after_kill_executes_only_missing_cells(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance pin: kill a grid partway, rerun with the same
+        store — only the missing cells execute, and the final set is
+        bit-identical to an uninterrupted run."""
+        uninterrupted = run_grid(STORAGE, max_workers=1)
+        store_dir = tmp_path / "store"
+        run_grid(STORAGE, max_workers=1, store=str(store_dir))
+        # Simulate the kill: drop some completed cells from the store.
+        killed = entry_files(store_dir)[::2]
+        for name in killed:
+            os.unlink(str(store_dir / name))
+
+        executed = []
+        original = experiment._run_cell
+
+        def counting(cell):
+            executed.append(cell_digest(cell))
+            return original(cell)
+
+        monkeypatch.setattr(experiment, "_run_cell", counting)
+        resumed = run_grid(STORAGE, max_workers=1, store=str(store_dir))
+        assert sorted(executed) == sorted(n[: -len(".json")] for n in killed)
+        assert resumed.run_stats.executed == len(killed)
+        assert resumed.to_json() == uninterrupted.to_json()
+
+    def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path):
+        store_dir = tmp_path / "store"
+        first = run_grid(STORAGE, max_workers=1, store=str(store_dir))
+        victim = str(store_dir / entry_files(store_dir)[0])
+        with open(victim, "w", encoding="utf-8") as handle:
+            handle.write('{"kind": "storage", truncated')
+        healed = run_grid(STORAGE, max_workers=1, store=str(store_dir))
+        assert healed.run_stats.executed == 1
+        assert healed.to_json() == first.to_json()
+        # The rewritten entry parses again.
+        with open(victim, encoding="utf-8") as handle:
+            assert json.load(handle)["kind"] == "storage"
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        store_dir = tmp_path / "store"
+        run_grid(STORAGE, max_workers=1, store=str(store_dir))
+        victim = str(store_dir / entry_files(store_dir)[0])
+        with open(victim, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["schema_version"] = 999
+        with open(victim, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        rerun = run_grid(STORAGE, max_workers=1, store=str(store_dir))
+        assert rerun.run_stats.executed == 1
+
+    def test_parallel_run_persists_every_cell(self, tmp_path):
+        """Parallel execution writes each result as it completes (not in
+        plan order), so every completed cell survives a kill; the
+        returned set still equals the serial run bit-for-bit."""
+        store_dir = tmp_path / "store"
+        parallel = run_grid(STORAGE, max_workers=2, store=str(store_dir))
+        assert len(entry_files(store_dir)) == len(parallel)
+        assert parallel.to_json() == run_grid(STORAGE, max_workers=1).to_json()
+
+    def test_parallel_failure_still_persists_completed_cells(self, tmp_path):
+        """One failing cell must not discard in-flight successes: the
+        run raises (naming the cell), but every completed cell reaches
+        the store, so a later resume recomputes only the failure."""
+        register_evaluation(
+            "flaky-kind",
+            params_cls=FlakyParams,
+            result_cls=FlakyResult,
+            subjects=("ok", "boom", "also-ok"),
+        )(run_flaky_cell)
+        try:
+            spec = ExperimentSpec(
+                kind="flaky-kind",
+                mitigations=["ok", "boom", "also-ok"],
+                base_params=FlakyParams(),
+            )
+            store_dir = tmp_path / "store"
+            with pytest.raises(RuntimeError, match="boom"):
+                run_grid(spec, max_workers=2, store=str(store_dir))
+            assert len(entry_files(store_dir)) == 2
+        finally:
+            EVALUATIONS.remove("flaky-kind")
+
+    def test_reuse_false_recomputes(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_grid(STORAGE, max_workers=1, store=store)
+        rerun = run_grid(STORAGE, max_workers=1, store=store, reuse=False)
+        assert rerun.run_stats.executed == len(rerun)
+
+    def test_store_accepts_instance(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        results = run_grid(STORAGE, max_workers=1, store=store)
+        assert len(store) == len(results)
+        assert plan_cells(STORAGE)[0] in store
+
+    def test_perf_results_round_trip_bit_identically(self, tmp_path):
+        """Simulation results (floats, per-core records) must come back
+        from the store exactly — reuse may never perturb numbers."""
+        store_dir = tmp_path / "store"
+        store = str(store_dir)
+        fresh = run_grid(PERF, max_workers=1, store=store)
+        assert fresh.run_stats.executed == 2  # baseline + rrs
+        reused = run_grid(PERF, max_workers=1, store=store)
+        assert reused.run_stats.executed == 0
+        assert reused.to_json() == fresh.to_json()
+        assert reused.normalized_table() == fresh.normalized_table()
+        # Kill simulation on the perf grid itself: drop one completed
+        # cell; the resume executes exactly it and stays bit-identical.
+        os.unlink(str(store_dir / entry_files(store_dir)[0]))
+        resumed = run_grid(PERF, max_workers=1, store=store)
+        assert resumed.run_stats.executed == 1
+        assert resumed.run_stats.reused == 1
+        assert resumed.to_json() == fresh.to_json()
+
+    def test_security_mc_results_round_trip(self, tmp_path):
+        store = str(tmp_path / "store")
+        spec = ExperimentSpec(
+            kind="security",
+            mitigations=["rrs"],
+            base_params=SecurityParams(
+                trh=4800, rows_per_bank=4096, iterations=1000,
+                probe_windows=3000, step=200,
+            ),
+        )
+        fresh = run_grid(spec, max_workers=1, store=store)
+        reused = run_grid(spec, max_workers=1, store=store)
+        assert reused.run_stats.reused == 1
+        assert reused.to_json() == fresh.to_json()

@@ -13,6 +13,10 @@ Run from the repository root::
 
     PYTHONPATH=src python tools/bench_hotpath.py            # full matrix
     PYTHONPATH=src python tools/bench_hotpath.py --quick    # CI smoke
+    PYTHONPATH=src python tools/bench_hotpath.py --append   # add a point
+
+``--append`` accumulates runs into a ``{"runs": [...]}`` trajectory
+(one committed point per perf PR) instead of overwriting the file.
 
 The full matrix uses the acceptance-sized baseline cell (4 cores x
 60k requests, closed page); ``--quick`` shrinks every cell for the CI
@@ -112,6 +116,12 @@ def main(argv: List[str] = None) -> int:
         "--out", default=os.path.join(REPO_ROOT, "BENCH_hotpath.json"),
         help="output JSON path (default: BENCH_hotpath.json in the repo root)",
     )
+    parser.add_argument(
+        "--append", action="store_true",
+        help="append this run to the existing JSON (a {'runs': [...]} "
+             "trajectory) instead of overwriting; a legacy single-run "
+             "file becomes the trajectory's first point",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -140,6 +150,7 @@ def main(argv: List[str] = None) -> int:
     report = {
         "benchmark": "hotpath",
         "quick": args.quick,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "host": host_info(),
         "params": {
             "num_cores": params.num_cores,
@@ -156,10 +167,21 @@ def main(argv: List[str] = None) -> int:
             "baseline_speedup_max": max(c["speedup"] for c in baseline_cells),
         },
     }
+    payload: Dict[str, Any] = report
+    if args.append:
+        runs: List[Dict[str, Any]] = []
+        if os.path.exists(args.out):
+            with open(args.out, encoding="utf-8") as handle:
+                existing = json.load(handle)
+            # A legacy single-run file becomes the first trajectory point.
+            runs = existing.get("runs", [existing])
+        runs.append(report)
+        payload = {"benchmark": "hotpath", "runs": runs}
     with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
+        json.dump(payload, handle, indent=2)
         handle.write("\n")
-    print(f"\nwrote {args.out}")
+    print(f"\nwrote {args.out}"
+          + (f" ({len(payload['runs'])} run(s))" if args.append else ""))
     print(
         "baseline-cell speedup: "
         f"{report['summary']['baseline_speedup_min']:.2f}x - "
