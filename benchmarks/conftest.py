@@ -1,18 +1,24 @@
 """Benchmark harness configuration.
 
-Each benchmark regenerates one table or figure of the paper and prints
-the reproduced rows/series (run pytest with ``-s`` to see them). The
-``benchmark`` fixture times the reproduction; shape assertions verify
-the paper's qualitative claims (who wins, by what rough factor, where
-the crossovers fall).
+Each benchmark reproduces one registered figure/table of the paper
+through :mod:`repro.report` and prints the rendered artifact (run
+pytest with ``-s`` to see it). The ``benchmark`` fixture times the
+reproduction; shape assertions verify the paper's qualitative claims
+(who wins, by what rough factor, where the crossovers fall).
+
+All figures resolve against one session-scoped result store, so cells
+shared between figures (Figure 1b's RRS sweep inside Figure 15's, the
+Misra-Gries half of Figure 16...) simulate once per session — and
+``REPRO_RESULT_STORE=DIR`` points the session at a persistent warm
+store, making repeated local runs near-instant.
 """
 
-import sys
 import os
+import sys
 
 import pytest
 
-# Make `perf_common` importable when pytest collects from the repo root.
+# Make `report_common` importable when pytest collects from the repo root.
 sys.path.insert(0, os.path.dirname(__file__))
 
 
@@ -21,3 +27,17 @@ def pytest_collection_modifyitems(items):
     mark the whole directory so the fast CI tier can deselect it."""
     for item in items:
         item.add_marker(pytest.mark.slow)
+
+
+@pytest.fixture(scope="session")
+def figure_store(tmp_path_factory):
+    """The result-store directory shared by the whole benchmark session.
+
+    Defaults to a per-session temporary directory (cells shared between
+    figures still simulate only once); set ``REPRO_RESULT_STORE`` to
+    reuse a persistent store across sessions.
+    """
+    path = os.environ.get("REPRO_RESULT_STORE")
+    if path:
+        return path
+    return str(tmp_path_factory.mktemp("figure-store"))

@@ -7,40 +7,17 @@ under DDR5's halved refresh window, TRH <= 3100 falls in under a day
 regardless of the swap rate.
 """
 
-from repro.attacks.analytical import AttackParameters, JuggernautModel
-from repro.attacks.juggernaut import open_page_time_to_break_days
+from report_common import reproduce
 
 
-def reproduce():
-    closed = JuggernautModel(AttackParameters(trh=4800, ts=800)).best(step=10)
-    results = {
-        "closed-page TRH=4800 rate 6 (days)": closed.time_to_break_days,
-        "open-page TRH=4800 rate 6 (days)": open_page_time_to_break_days(4800, 6),
-        "open-page TRH=3300 rate 10 (days)": open_page_time_to_break_days(3300, 10),
-        "open-page TRH=1200 rate 6 (days)": open_page_time_to_break_days(1200, 6),
-    }
-    ddr5 = {}
-    for rate in (6, 8, 10):
-        model = JuggernautModel(
-            AttackParameters(
-                trh=3100,
-                ts=max(2, 3100 // rate),
-                refresh_window=32_000_000.0,
-                refreshes_per_window=4096,
-            )
-        )
-        ddr5[rate] = model.best(step=10).time_to_break_days
-    return results, ddr5
-
-
-def test_disc_open_page_and_ddr5(benchmark):
-    results, ddr5 = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    print("\n=== Section VIII: page policy and DDR5 discussion ===")
-    for label, days in results.items():
-        print(f"{label}: {days:.4g}")
-    for rate, days in ddr5.items():
-        print(f"DDR5 (32 ms window) TRH=3100 rate {rate}: {days:.4g} days")
+def test_disc_open_page_and_ddr5(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("disc-open-page", figure_store),
+        rounds=1,
+        iterations=1,
+    )
+    results = data.extras["results"]
+    ddr5 = data.extras["ddr5"]
 
     closed = results["closed-page TRH=4800 rate 6 (days)"]
     opened = results["open-page TRH=4800 rate 6 (days)"]

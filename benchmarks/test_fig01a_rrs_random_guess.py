@@ -6,39 +6,28 @@ rate 6 it exceeds 10^3 days (~3 years). This is the security story RRS
 told — before Juggernaut.
 """
 
-from repro.attacks.birthday import random_guess_time_to_break_days
-
-SWAP_RATES = [3, 4, 5, 6, 7, 8]
-TRH_VALUES = [1200, 2400, 4800]
+from report_common import reproduce
+from repro.report.figures.motivation import FIG01A_SWAP_RATES, FIG01A_TRH_VALUES
 
 
-def reproduce():
-    series = {}
-    for trh in TRH_VALUES:
-        series[trh] = [random_guess_time_to_break_days(trh, rate) for rate in SWAP_RATES]
-    return series
-
-
-def test_fig01a_random_guess_attack(benchmark):
-    series = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    print("\n=== Figure 1a: naive random-guess attack on RRS (days) ===")
-    print(f"{'swap rate':>10s}" + "".join(f"{r:>12d}" for r in SWAP_RATES))
-    for trh, days in series.items():
-        cells = "".join(f"{d:>12.3g}" for d in days)
-        print(f"TRH={trh:<6d}" + cells)
+def test_fig01a_random_guess_attack(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("fig01a", figure_store), rounds=1, iterations=1
+    )
+    series = data.extras["series"]
+    rates = list(FIG01A_SWAP_RATES)
 
     # Paper anchor: years at TRH 4800 / swap rate 6 (the intro's "~3
     # years"; our expected-value model reads 2.3 years).
-    rate6 = series[4800][SWAP_RATES.index(6)]
+    rate6 = series[4800][rates.index(6)]
     assert rate6 > 700
 
     # Shape: time-to-break grows by orders of magnitude from rate 3 to 8
     # (individual steps can wiggle — k is an integer, so curves move in
     # cliffs), and at the paper's rate-6 design point higher TRH is
     # strictly harder to break.
-    for trh in TRH_VALUES:
+    for trh in FIG01A_TRH_VALUES:
         assert series[trh][-1] > series[trh][0] * 1000
-        assert series[trh][SWAP_RATES.index(8)] > series[trh][SWAP_RATES.index(4)]
-    i6 = SWAP_RATES.index(6)
+        assert series[trh][rates.index(8)] > series[trh][rates.index(4)]
+    i6 = rates.index(6)
     assert series[1200][i6] < series[2400][i6] < series[4800][i6]

@@ -2,34 +2,20 @@
 
 Paper anchors: RRS costs ~0.3% at TRH=4800 but degrades sharply as the
 threshold scales down (the 'not scalable' half of the motivation). The
-bench sweeps TRH over {4800, 2400, 1200} on a hot/streaming/compute
+figure sweeps TRH over {4800, 2400, 1200} on a hot/streaming/compute
 workload mix.
 """
 
-from perf_common import normalized_table, params, print_table
-from repro.sim.results import geometric_mean
+from report_common import reproduce
 
-WORKLOADS = ["gcc", "hmmer", "sphinx3", "soplex", "lbm", "povray"]
 TRH_VALUES = [4800, 2400, 1200]
 
 
-def reproduce():
-    tables = {}
-    for trh in TRH_VALUES:
-        tables[trh] = normalized_table(WORKLOADS, ["rrs"], params(trh=trh))
-    return tables
-
-
-def test_fig01b_rrs_vs_trh(benchmark):
-    tables = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    means = {}
-    for trh in TRH_VALUES:
-        print_table(f"Figure 1b: RRS at TRH={trh}", tables[trh], ["rrs"])
-        means[trh] = geometric_mean([row["rrs"] for row in tables[trh].values()])
-    print("\nRRS average normalized performance by TRH:")
-    for trh in TRH_VALUES:
-        print(f"  TRH={trh}: {means[trh]:.4f}")
+def test_fig01b_rrs_vs_trh(benchmark, figure_store):
+    data, artifact = benchmark.pedantic(
+        lambda: reproduce("fig01b", figure_store), rounds=1, iterations=1
+    )
+    means = {trh: value for trh, value in artifact.table("means").rows}
 
     # Monotone degradation as TRH drops.
     assert means[4800] >= means[2400] - 0.005

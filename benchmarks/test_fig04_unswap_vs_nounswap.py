@@ -6,37 +6,24 @@ and unravelling them at the end of the refresh window) costs an extra
 the channel.
 """
 
-from perf_common import normalized_table, params, print_table
-from repro.sim.results import geometric_mean
+from report_common import reproduce
 
-WORKLOADS = ["gcc", "hmmer", "sphinx3", "bzip2", "soplex", "comm1", "lbm", "povray"]
-MITIGATIONS = ["rrs", "rrs-no-unswap"]
 TRH_VALUES = [1200, 2400]
 
 
-def reproduce():
-    return {
-        trh: normalized_table(WORKLOADS, MITIGATIONS, params(trh=trh))
-        for trh in TRH_VALUES
-    }
-
-
-def test_fig04_unswap_ablation(benchmark):
-    tables = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+def test_fig04_unswap_ablation(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("fig04", figure_store), rounds=1, iterations=1
+    )
 
     deltas = {}
     for trh in TRH_VALUES:
-        print_table(f"Figure 4: unswap ablation, TRH={trh}", tables[trh], MITIGATIONS)
-        with_unswap = geometric_mean([r["rrs"] for r in tables[trh].values()])
-        without = geometric_mean([r["rrs-no-unswap"] for r in tables[trh].values()])
-        deltas[trh] = with_unswap - without
-        print(f"TRH={trh}: extra slowdown without immediate unswaps: {100*deltas[trh]:.2f}%")
+        means = data.results.filter(trh=trh).suite_geomeans()["ALL"]
+        deltas[trh] = means["rrs"] - means["rrs-no-unswap"]
 
     # No-unswap is worse on average at every TRH (paper: 3-7% extra).
     for trh in TRH_VALUES:
         assert deltas[trh] > 0.0
     # The penalty is material for the swap-heavy club.
-    heavy_delta = (
-        tables[1200]["hmmer"]["rrs"] - tables[1200]["hmmer"]["rrs-no-unswap"]
-    )
-    assert heavy_delta > 0.02
+    hmmer = data.results.filter(trh=1200).normalized_table()["hmmer"]
+    assert hmmer["rrs"] - hmmer["rrs-no-unswap"] > 0.02

@@ -4,47 +4,22 @@ Paper series: for TRH in {1200, 2400, 4800}, time-to-break across attack
 rounds shows periodic cliffs (each integer drop of k, Eq. 3); at
 TRH=4800 with swap rate 6 the optimum is ~4 hours (N around 1100), and at
 TRH <= 2400 latent activations alone break RRS within one refresh window.
-Monte-Carlo experiment points validate the analytical curve.
+Monte-Carlo experiment cells validate the analytical curve.
 """
 
-from repro.attacks.analytical import AttackParameters, JuggernautModel
-from repro.attacks.montecarlo import MonteCarloJuggernaut
-
-ROUNDS = list(range(0, 1401, 100))
-SWAP_RATE = 6
+from report_common import reproduce
+from repro.report.figures.attacks import FIG06_MC_ROUNDS, FIG06_ROUNDS
 
 
-def reproduce():
-    curves = {}
-    for trh in (4800, 2400, 1200):
-        model = JuggernautModel(AttackParameters(trh=trh, ts=trh // SWAP_RATE))
-        curves[trh] = [model.evaluate(n).time_to_break_days for n in ROUNDS]
-    # Validation points in the Monte-Carlo-tractable k=2 regime (the
-    # k>=3 regimes have per-window odds below 1e-7; the estimator falls
-    # back to the analytical probability there by design). Fresh seeds
-    # per point keep the estimates independent.
-    experiment = {}
-    for n in (1100, 1200, 1300):
-        mc = MonteCarloJuggernaut(AttackParameters(trh=4800, ts=800), seed=6 + n)
-        experiment[n] = mc.run(
-            rounds=n, iterations=20_000, probe_windows=100_000
-        ).mean_time_to_break_days
-    return curves, experiment
-
-
-def test_fig06_juggernaut_vs_rrs(benchmark):
-    curves, experiment = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    print("\n=== Figure 6: Juggernaut vs RRS, time-to-break (days) ===")
-    print(f"{'rounds':>8s}" + "".join(f"{t:>12d}" for t in (4800, 2400, 1200)))
-    for i, n in enumerate(ROUNDS):
-        cells = "".join(f"{curves[t][i]:>12.3g}" for t in (4800, 2400, 1200))
-        print(f"{n:>8d}" + cells)
-    print("Monte-Carlo validation (TRH=4800):")
-    model = JuggernautModel(AttackParameters(trh=4800, ts=800))
-    for n, days in experiment.items():
-        analytic = model.evaluate(n).time_to_break_days
-        print(f"  N={n:>5d}: experiment {days:.3f} d vs analytical {analytic:.3f} d")
+def test_fig06_juggernaut_vs_rrs(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("fig06", figure_store), rounds=1, iterations=1
+    )
+    cells = data.results.by("iterations", "trh", "rounds")
+    curves = {
+        trh: [cells[(0, trh, n)].days for n in FIG06_ROUNDS]
+        for trh in (4800, 2400, 1200)
+    }
 
     # Anchor: under 1 day (about 4 hours) at the optimum for TRH=4800.
     best = min(curves[4800])
@@ -55,7 +30,7 @@ def test_fig06_juggernaut_vs_rrs(benchmark):
     assert min(curves[2400]) < 1e-3
     assert min(curves[1200]) < 1e-3
 
-    # Monte Carlo tracks the analytical model.
-    for n, days in experiment.items():
-        analytic = model.evaluate(n).time_to_break_days
-        assert abs(days - analytic) / analytic < 0.5
+    # Monte Carlo tracks the analytical model (the k=2 regime cells).
+    for n in FIG06_MC_ROUNDS:
+        cell = cells[(20_000, 4800, n)]
+        assert abs(cell.mc_days_mean - cell.days) / cell.days < 0.5

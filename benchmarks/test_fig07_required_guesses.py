@@ -5,27 +5,21 @@ N <= ~500 and k=2 for N >= ~1100; at TRH in {1200, 2400} enough rounds
 drive k to zero (latent activations alone suffice).
 """
 
-from repro.attacks.analytical import AttackParameters, JuggernautModel
+from report_common import reproduce
+from repro.report.figures.attacks import FIG07_ROUNDS
 
-ROUNDS = list(range(0, 1401, 50))
-SWAP_RATE = 6
-
-
-def reproduce():
-    series = {}
-    for trh in (4800, 2400, 1200):
-        model = JuggernautModel(AttackParameters(trh=trh, ts=trh // SWAP_RATE))
-        series[trh] = [model.required_guesses(n) for n in ROUNDS]
-    return series
+ROUNDS = list(FIG07_ROUNDS)
 
 
-def test_fig07_required_guesses(benchmark):
-    series = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    print("\n=== Figure 7: required correct guesses k vs rounds ===")
-    print(f"{'rounds':>8s}{4800:>8d}{2400:>8d}{1200:>8d}")
-    for i, n in enumerate(ROUNDS):
-        print(f"{n:>8d}{series[4800][i]:>8d}{series[2400][i]:>8d}{series[1200][i]:>8d}")
+def test_fig07_required_guesses(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("fig07", figure_store), rounds=1, iterations=1
+    )
+    cells = data.results.by("trh", "rounds")
+    series = {
+        trh: [cells[(trh, n)].required_guesses for n in ROUNDS]
+        for trh in (4800, 2400, 1200)
+    }
 
     k4800 = series[4800]
     # Paper anchors: k=4 at N <= 500 and k=2 at N >= 1100 for TRH=4800.

@@ -5,35 +5,25 @@ falls in hours-to-a-day regardless of the swap rate, while SRS holds for
 years (>2 years at TRH=4800 / rate 6, rapidly more at higher rates).
 """
 
-from repro.attacks.analytical import AttackParameters, JuggernautModel, srs_parameters
+from report_common import reproduce
+from repro.report.figures.attacks import FIG10_SWAP_RATES
 
-SWAP_RATES = [6, 7, 8, 9, 10]
 TRH_VALUES = [4800, 2400, 1200]
 
 
-def reproduce():
-    rrs, srs = {}, {}
-    for trh in TRH_VALUES:
-        rrs[trh] = []
-        srs[trh] = []
-        for rate in SWAP_RATES:
-            params = AttackParameters(trh=trh, ts=max(2, int(round(trh / rate))))
-            rrs[trh].append(JuggernautModel(params).best(step=10).time_to_break_days)
-            srs[trh].append(
-                JuggernautModel(srs_parameters(params)).best(step=200).time_to_break_days
-            )
-    return rrs, srs
-
-
-def test_fig10_srs_vs_rrs(benchmark):
-    rrs, srs = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    print("\n=== Figure 10: time-to-break under Juggernaut (days) ===")
-    print(f"{'swap rate':>10s}" + "".join(f"{r:>12d}" for r in SWAP_RATES))
-    for trh in TRH_VALUES:
-        print(f"RRS {trh:<6d}" + "".join(f"{d:>12.3g}" for d in rrs[trh]))
-    for trh in TRH_VALUES:
-        print(f"SRS {trh:<6d}" + "".join(f"{d:>12.3g}" for d in srs[trh]))
+def test_fig10_srs_vs_rrs(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("fig10", figure_store), rounds=1, iterations=1
+    )
+    cells = data.results.by("mitigation", "trh", "swap_rate")
+    rrs = {
+        trh: [cells[("rrs", trh, rate)].days for rate in FIG10_SWAP_RATES]
+        for trh in TRH_VALUES
+    }
+    srs = {
+        trh: [cells[("srs", trh, rate)].days for rate in FIG10_SWAP_RATES]
+        for trh in TRH_VALUES
+    }
 
     # Paper anchors.
     assert rrs[4800][0] < 1.0  # RRS: under a day at rate 6

@@ -9,40 +9,27 @@ paper's 'similar' claim from both sides (never worse, never more than
 ~2x better on the overhead).
 """
 
-from perf_common import normalized_table, params, print_table
-from repro.sim.results import geometric_mean
+from report_common import reproduce
 
-WORKLOADS = ["gcc", "hmmer", "sphinx3", "bzip2", "soplex", "pr", "comm1", "lbm"]
-MITIGATIONS = ["rrs", "srs"]
 TRH_VALUES = [1200, 2400, 4800]
 
 
-def reproduce():
-    return {
-        trh: normalized_table(WORKLOADS, MITIGATIONS, params(trh=trh))
+def test_fig12_srs_vs_rrs(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("fig12", figure_store), rounds=1, iterations=1
+    )
+    means = {
+        trh: data.results.filter(trh=trh).suite_geomeans()["ALL"]
         for trh in TRH_VALUES
     }
 
-
-def test_fig12_srs_vs_rrs(benchmark):
-    tables = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
     for trh in TRH_VALUES:
-        print_table(f"Figure 12: SRS vs RRS, TRH={trh}", tables[trh], MITIGATIONS)
-
-    for trh in TRH_VALUES:
-        rrs = geometric_mean([r["rrs"] for r in tables[trh].values()])
-        srs = geometric_mean([r["srs"] for r in tables[trh].values()])
-        rrs_loss = max(1e-4, 1.0 - rrs)
-        srs_loss = max(1e-4, 1.0 - srs)
-        print(f"TRH={trh}: RRS loss {100*rrs_loss:.2f}%  SRS loss {100*srs_loss:.2f}%")
+        rrs_loss = max(1e-4, 1.0 - means[trh]["rrs"])
+        srs_loss = max(1e-4, 1.0 - means[trh]["srs"])
         # Same swap rate -> same order of magnitude of overhead: SRS is
         # never worse, and not better than ~3x on the loss.
-        assert srs >= rrs - 0.01
+        assert means[trh]["srs"] >= means[trh]["rrs"] - 0.01
         assert srs_loss > rrs_loss / 4.0
 
     # Both degrade as TRH shrinks (the scalability problem Scale-SRS fixes).
-    rrs_by_trh = [
-        geometric_mean([r["rrs"] for r in tables[trh].values()]) for trh in TRH_VALUES
-    ]
-    assert rrs_by_trh[0] <= rrs_by_trh[-1] + 0.005  # 1200 worst, 4800 best
+    assert means[1200]["rrs"] <= means[4800]["rrs"] + 0.005

@@ -7,31 +7,16 @@ days, four only once per ~64 years — which is what licenses Scale-SRS's
 reduced swap rate plus pinning.
 """
 
-from repro.attacks.outliers import OutlierModel
-
-SWAP_RATES = [3, 4, 5, 6]
+from report_common import reproduce
 
 
-def reproduce():
-    base = OutlierModel(trh=4800)
-    sweep_3rows = base.sweep_swap_rates(SWAP_RATES, num_rows=3)
-    sweep_4rows = base.sweep_swap_rates(SWAP_RATES, num_rows=4)
-    anchors = {
-        "3 rows @ rate 3 (days)": OutlierModel(trh=4800, swap_rate=3).time_to_appear_days(3),
-        "4 rows @ rate 3 (years)": OutlierModel(trh=4800, swap_rate=3).time_to_appear_days(4) / 365,
-    }
-    return sweep_3rows, sweep_4rows, anchors
-
-
-def test_fig13_outlier_time_to_appear(benchmark):
-    sweep_3rows, sweep_4rows, anchors = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    print("\n=== Figure 13: outlier-row time-to-appear (days), TRH=4800 ===")
-    print(f"{'swap rate':>10s}" + "".join(f"{r:>14d}" for r in SWAP_RATES))
-    print(f"{'3 outliers':>10s}" + "".join(f"{d:>14.3g}" for d in sweep_3rows))
-    print(f"{'4 outliers':>10s}" + "".join(f"{d:>14.3g}" for d in sweep_4rows))
-    for label, value in anchors.items():
-        print(f"{label}: {value:.1f}")
+def test_fig13_outlier_time_to_appear(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("fig13", figure_store), rounds=1, iterations=1
+    )
+    sweep_3rows = data.extras["sweep_3rows"]
+    sweep_4rows = data.extras["sweep_4rows"]
+    anchors = data.extras["anchors"]
 
     # Paper anchors: ~31 days for 3 outliers, ~64 years for 4 (order).
     assert 5 < anchors["3 rows @ rate 3 (days)"] < 120

@@ -2,23 +2,19 @@
 
 Paper anchors: averaged over 78 workloads, RRS loses 4% and Scale-SRS
 only 0.7%; several benchmarks (hmmer, bzip2, gcc, zeusmp, astar, sphinx3,
-xz_17) lose >10% under RRS, with gcc the worst case at 26.5%. The bench
-runs the Figure's detailed subset by default (set REPRO_BENCH_FULL=1 for
-all 78) and prints per-workload bars plus suite geometric means.
+xz_17) lose >10% under RRS, with gcc the worst case at 26.5%. The figure
+runs the detailed subset by default (set REPRO_BENCH_FULL=1 for all 78).
 """
 
-from perf_common import bench_workloads, normalized_table, params, print_table
-
-MITIGATIONS = ["rrs", "scale-srs"]
+from report_common import reproduce
 
 
-def reproduce():
-    return normalized_table(bench_workloads(), MITIGATIONS, params(trh=1200))
-
-
-def test_fig14_scale_srs_vs_rrs(benchmark):
-    table = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-    means = print_table("Figure 14: normalized performance, TRH=1200", table, MITIGATIONS)
+def test_fig14_scale_srs_vs_rrs(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("fig14", figure_store), rounds=1, iterations=1
+    )
+    table = data.results.normalized_table()
+    means = data.results.suite_geomeans()
 
     # Scale-SRS beats RRS on average and never does meaningfully worse.
     assert means["ALL"]["scale-srs"] > means["ALL"]["rrs"]

@@ -5,37 +5,19 @@ on average while RRS loses ~14%; the gap widens monotonically as the
 threshold scales down, which is the scalability argument.
 """
 
-from perf_common import normalized_table, params, print_table
-from repro.sim.results import geometric_mean
+from report_common import reproduce
 
-WORKLOADS = ["gcc", "hmmer", "sphinx3", "soplex", "pr", "comm1", "lbm", "povray"]
-MITIGATIONS = ["rrs", "scale-srs"]
 TRH_VALUES = [4800, 2400, 1200, 512]
 
 
-def reproduce():
-    return {
-        trh: normalized_table(WORKLOADS, MITIGATIONS, params(trh=trh))
+def test_fig15_trh_sensitivity(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("fig15", figure_store), rounds=1, iterations=1
+    )
+    means = {
+        trh: data.results.filter(trh=trh).suite_geomeans()["ALL"]
         for trh in TRH_VALUES
     }
-
-
-def test_fig15_trh_sensitivity(benchmark):
-    tables = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    means = {}
-    for trh in TRH_VALUES:
-        print_table(f"Figure 15: TRH={trh}", tables[trh], MITIGATIONS)
-        means[trh] = {
-            m: geometric_mean([r[m] for r in tables[trh].values()])
-            for m in MITIGATIONS
-        }
-    print("\naverages by TRH (normalized performance):")
-    for trh in TRH_VALUES:
-        print(
-            f"  TRH={trh:>5d}: RRS {means[trh]['rrs']:.4f}  "
-            f"Scale-SRS {means[trh]['scale-srs']:.4f}"
-        )
 
     # Scale-SRS dominates RRS at every threshold.
     for trh in TRH_VALUES:

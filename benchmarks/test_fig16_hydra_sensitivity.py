@@ -7,46 +7,25 @@ tracker amplifies RRS's disadvantage because RRS's smaller TS crosses
 group thresholds (and swaps) far more often.
 """
 
-from perf_common import normalized_table, params, print_table
-from repro.sim.results import geometric_mean
+from report_common import reproduce
 
-WORKLOADS = ["gcc", "hmmer", "sphinx3", "soplex", "pr", "comm1", "lbm"]
-MITIGATIONS = ["rrs", "scale-srs"]
 TRH_VALUES = [4800, 1200, 512]
+TRACKERS = ("hydra", "misra-gries")
 
 
-def reproduce():
-    out = {}
-    for trh in TRH_VALUES:
-        out[trh] = {
-            "hydra": normalized_table(WORKLOADS, MITIGATIONS, params(trh=trh, tracker="hydra")),
-            "misra-gries": normalized_table(WORKLOADS, MITIGATIONS, params(trh=trh)),
+def test_fig16_hydra_tracker(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("fig16", figure_store), rounds=1, iterations=1
+    )
+    means = {
+        trh: {
+            tracker: data.results.filter(
+                trh=trh, tracker=tracker
+            ).suite_geomeans()["ALL"]
+            for tracker in TRACKERS
         }
-    return out
-
-
-def test_fig16_hydra_tracker(benchmark):
-    tables = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    means = {}
-    for trh in TRH_VALUES:
-        print_table(f"Figure 16: Hydra tracker, TRH={trh}", tables[trh]["hydra"], MITIGATIONS)
-        means[trh] = {
-            tracker: {
-                m: geometric_mean([r[m] for r in tables[trh][tracker].values()])
-                for m in MITIGATIONS
-            }
-            for tracker in ("hydra", "misra-gries")
-        }
-    print("\naverages (normalized performance):")
-    for trh in TRH_VALUES:
-        row = means[trh]
-        print(
-            f"  TRH={trh:>5d}: Hydra RRS {row['hydra']['rrs']:.4f} / "
-            f"Scale {row['hydra']['scale-srs']:.4f}   "
-            f"MG RRS {row['misra-gries']['rrs']:.4f} / "
-            f"Scale {row['misra-gries']['scale-srs']:.4f}"
-        )
+        for trh in TRH_VALUES
+    }
 
     # Scale-SRS dominates RRS under Hydra at every threshold.
     for trh in TRH_VALUES:

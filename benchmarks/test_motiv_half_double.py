@@ -8,57 +8,16 @@ just moves the flip to distance 3. Scale-SRS, which relocates the
 aggressor instead of refreshing victims, stops both patterns.
 """
 
-import random
-
-from repro.attacks.harness import hammer_pattern
-from repro.attacks.patterns import double_sided, half_double
-from repro.core.scale_srs import ScaleSecureRowSwap
-from repro.core.vfm import PARA, TargetedRowRefresh
-from repro.dram.bank import Bank
-from repro.dram.config import DRAMTiming
-from repro.dram.disturbance import DisturbanceModel
-from repro.trackers.base import ExactTracker
-
-TRH = 2000
-FACTORS = (1.0, 0.002)
-HAMMERS = 300_000
+from report_common import reproduce
 
 
-def rig(name, radius=1):
-    timing = DRAMTiming(refresh_window=1e12)
-    bank = Bank(4096, timing)
-    disturbance = DisturbanceModel(4096, TRH, refresh_window=1e12, distance_factors=FACTORS)
-    if name == "trr":
-        engine = TargetedRowRefresh(bank, disturbance, ExactTracker(100), protected_radius=radius)
-    elif name == "para":
-        engine = PARA(bank, disturbance, trh=TRH, rng=random.Random(5), protected_radius=radius)
-    else:
-        engine = ScaleSecureRowSwap(bank, ExactTracker(TRH // 3), random.Random(7))
-    return engine, disturbance
-
-
-def reproduce():
-    rows = {}
-    for defense in ("trr", "para", "scale-srs"):
-        engine, disturbance = rig(defense)
-        ds = hammer_pattern(engine, disturbance, double_sided(100, 2400))
-        engine, disturbance = rig(defense)
-        hd = hammer_pattern(engine, disturbance, half_double(100, HAMMERS))
-        rows[defense] = (ds, hd)
-    engine, disturbance = rig("trr", radius=2)
-    rows["trr-radius2"] = (None, hammer_pattern(engine, disturbance, half_double(100, HAMMERS)))
-    return rows
-
-
-def test_motivation_half_double(benchmark):
-    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    print("\n=== Section II-E motivation: half-double vs defenses ===")
-    print(f"{'defense':<14s}{'double-sided':>14s}{'half-double':>26s}")
-    for defense, (ds, hd) in rows.items():
-        ds_text = "-" if ds is None else ("FLIP " + str(ds.flipped_rows) if ds.any_flip else "held")
-        hd_text = ("FLIP " + str(hd.flipped_rows)) if hd.any_flip else "held"
-        print(f"{defense:<14s}{ds_text:>14s}{hd_text:>26s}")
+def test_motivation_half_double(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("motiv-half-double", figure_store),
+        rounds=1,
+        iterations=1,
+    )
+    rows = data.extras["rows"]
 
     # Double-sided is stopped by everything.
     for defense in ("trr", "para", "scale-srs"):

@@ -12,75 +12,16 @@ Three comparisons the paper makes in prose, measured here:
   structure.
 """
 
-import random
-
-from repro.analysis.storage import StorageModel
-from repro.core.aqua import AquaQuarantine
-from repro.core.blockhammer import BlockHammerThrottle, BloomParameters, dos_false_positive_delay
-from repro.core.scale_srs import ScaleSecureRowSwap
-from repro.dram.bank import Bank
-from repro.dram.config import DRAMTiming
-from repro.trackers.base import ExactTracker
+from report_common import reproduce
 
 
-def reproduce():
-    out = {}
-
-    # E20: BlockHammer's throttle delay and DoS aliasing.
-    bank = Bank(128 * 1024, DRAMTiming())
-    throttle = BlockHammerThrottle(bank, trh=4800)
-    out["throttle_delay_us"] = throttle.throttle_delay_ns() / 1000.0
-    dos_bank = Bank(1 << 16, DRAMTiming())
-    blacklisted, dos_delay = dos_false_positive_delay(
-        dos_bank, trh=4800, attacker_rows=64, victim_row=12345,
-        bloom=BloomParameters(num_counters=32, num_hashes=2),
+def test_relwork_comparators(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("relwork-comparators", figure_store),
+        rounds=1,
+        iterations=1,
     )
-    out["dos_blacklisted"] = blacklisted
-    out["dos_delay_us"] = dos_delay / 1000.0
-
-    # E19: AQUA vs Scale-SRS structural costs under identical hammering.
-    timing = DRAMTiming(refresh_window=1_000_000.0)
-    ts = 50
-    aqua_bank = Bank(4096, timing)
-    aqua = AquaQuarantine(aqua_bank, ExactTracker(ts))
-    scale_bank = Bank(4096, timing)
-    scale = ScaleSecureRowSwap(scale_bank, ExactTracker(ts * 2), random.Random(3))
-    for engine in (aqua, scale):
-        time = 0.0
-        for _ in range(500):
-            result = engine.bank.access(time, engine.resolve(7))
-            time = max(result.finish, engine.on_activation(result.finish, 7))
-    out["aqua_reserved_fraction"] = aqua.reserved_fraction()
-    out["aqua_migrations"] = aqua.migrations
-    out["aqua_home_acts"] = aqua_bank.stats.count(7)
-    out["scale_swaps"] = scale.stats.swaps
-    out["scale_home_acts"] = scale_bank.stats.count(7)
-
-    # E21: direction-bit storage optimisation.
-    base = StorageModel()
-    optimised = StorageModel(direction_bit_optimization=True)
-    out["scale_rit_kb_1200"] = base.rit_bytes(1200, "scale-srs") / 1024
-    out["scale_rit_kb_1200_opt"] = optimised.rit_bytes(1200, "scale-srs") / 1024
-    out["ratio_1200_opt"] = optimised.storage_ratio(1200)
-    return out
-
-
-def test_relwork_comparators(benchmark):
-    out = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    print("\n=== Section IX / VIII-4: design-space comparators ===")
-    print(f"BlockHammer throttle delay @TRH=4800: {out['throttle_delay_us']:.1f} us/ACT "
-          f"(paper: ~20 us)")
-    print(f"BlockHammer DoS aliasing: benign row blacklisted={out['dos_blacklisted']}, "
-          f"delay {out['dos_delay_us']:.1f} us/ACT")
-    print(f"AQUA: reserves {100*out['aqua_reserved_fraction']:.1f}% of the bank; "
-          f"{out['aqua_migrations']} migrations, home row froze at "
-          f"{out['aqua_home_acts']} ACTs")
-    print(f"Scale-SRS: no reserved region; {out['scale_swaps']} swaps, home row "
-          f"froze at {out['scale_home_acts']} ACTs")
-    print(f"Direction-bit RIT (Scale-SRS, TRH=1200): "
-          f"{out['scale_rit_kb_1200']:.1f} KB -> {out['scale_rit_kb_1200_opt']:.1f} KB; "
-          f"storage ratio vs RRS becomes {out['ratio_1200_opt']:.2f}x")
+    out = data.extras
 
     # Paper anchors / qualitative claims.
     assert 15 <= out["throttle_delay_us"] <= 35

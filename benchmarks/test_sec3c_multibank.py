@@ -6,21 +6,16 @@ Paper anchor: at TRH=4800 / swap rate 6, moving from a single-bank attack
 activation rate.
 """
 
-from repro.attacks.juggernaut import multi_bank_time_to_break_days
-
-BANK_COUNTS = [1, 2, 4, 8, 16]
+from report_common import reproduce
 
 
-def reproduce():
-    return {b: multi_bank_time_to_break_days(4800, 6, b) for b in BANK_COUNTS}
-
-
-def test_sec3c_multibank(benchmark):
-    days = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    print("\n=== Section III-C: multi-bank attack (TRH=4800, rate 6) ===")
-    for banks, d in days.items():
-        print(f"{banks:>3d} banks: {d:>12.4g} days ({d/365:.2f} years)")
+def test_sec3c_multibank(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("sec3c-multibank", figure_store),
+        rounds=1,
+        iterations=1,
+    )
+    days = data.extras["days"]
 
     # Single bank: the ~4 hour Juggernaut result.
     assert days[1] < 1.0

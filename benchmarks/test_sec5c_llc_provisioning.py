@@ -7,47 +7,24 @@ once every ~2.6 years and lasts one refresh interval. The pin-buffer
 holds 66 entries of 35 bits (~289 bytes).
 """
 
-from repro.attacks.outliers import OutlierModel
-from repro.core.pin_buffer import PinBuffer
-from repro.cpu.cache import SetAssociativeCache
-from repro.dram.config import SystemConfig
+from report_common import reproduce
 
 
-def reproduce():
-    config = SystemConfig()
-    buffer = PinBuffer(num_entries=66, llc_ways=config.llc_ways)
-    cache = SetAssociativeCache.from_config(config, pin_buffer=buffer)
-    # Worst-case multi-bank event: 3 outliers in each of 11 banks x 2 ch.
-    installed = 0
-    for channel in range(2):
-        for bank in range(11):
-            for row in range(3):
-                buffer.pin((channel, 0, bank), row)
-                installed += cache.pin_row(
-                    (channel, 0, bank), row,
-                    row_base_address=(channel * 11 + bank) * (1 << 20) + row * 8192,
-                )
-    return config, buffer, cache, installed
-
-
-def test_sec5c_llc_provisioning(benchmark):
-    config, buffer, cache, installed = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-
-    single_bank_bytes = 3 * 8 * 1024 * 2
-    multi_bank_bytes = buffer.llc_bytes_reserved()
-    print("\n=== Section V-C: LLC pinning provisioning ===")
-    print(f"pin-buffer entries: {buffer.num_entries} x {buffer.entry_bits} bits = {buffer.storage_bits/8:.0f} bytes")
-    print(f"single-bank worst case: {single_bank_bytes/1024:.0f} KB = {100*single_bank_bytes/config.llc_size_bytes:.2f}% of LLC")
-    print(f"multi-bank worst case: {multi_bank_bytes/1024:.0f} KB = {100*multi_bank_bytes/config.llc_size_bytes:.2f}% of LLC")
-    rare = OutlierModel(trh=4800, swap_rate=3).time_to_appear_days(3)
-    print(f"(single-bank event rarity: once per {rare:.0f} days)")
+def test_sec5c_llc_provisioning(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("sec5c-llc", figure_store), rounds=1, iterations=1
+    )
+    config = data.extras["config"]
+    buffer = data.extras["buffer"]
+    cache = data.extras["cache"]
+    installed = data.extras["installed"]
 
     # Paper anchors.
-    assert single_bank_bytes == 48 * 1024
+    assert data.extras["single_bank_bytes"] == 48 * 1024
     assert buffer.storage_bits / 8 < 300  # ~289 bytes
     assert len(buffer) == 66
     assert installed == 66 * 128  # every line of every pinned row resident
-    assert multi_bank_bytes / config.llc_size_bytes < 0.066  # <= 6.5%
+    assert data.extras["multi_bank_bytes"] / config.llc_size_bytes < 0.066
     # Pinned lines never evicted under pressure.
     victim_addresses = [i * 64 for i in range(200_000, 240_000)]
     for address in victim_addresses:

@@ -3,19 +3,16 @@
 Reproduces the table and its headline: a ~29x drop in eight years.
 """
 
-from repro.analysis.thresholds import TRH_HISTORY, scaling_factor
+from report_common import reproduce
 
 
-def test_table1_trh_history(benchmark):
-    table = benchmark.pedantic(lambda: dict(TRH_HISTORY), rounds=1, iterations=1)
-
-    print("\n=== Table I: Row Hammer thresholds over time ===")
-    for generation, trh in table.items():
-        print(f"{generation:<14s} {trh:>9,d}")
-    factor = scaling_factor()
-    print(f"DDR3(old) -> LPDDR4(new) scaling: {factor:.1f}x")
+def test_table1_trh_history(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("table1", figure_store), rounds=1, iterations=1
+    )
+    table = data.extras["history"]
 
     assert table["DDR3 (old)"] == 139_000
     assert table["LPDDR4 (new)"] == 4_800
-    assert 28 <= factor <= 30
+    assert 28 <= data.extras["scaling"] <= 30
     assert len(table) == 6

@@ -5,37 +5,28 @@ pin buffer, for TRH in {4800, 2400, 1200}; totals 36 KB vs 18.7 KB at
 4800 and 251 KB vs 76.9 KB at 1200 — Scale-SRS ~3.3x smaller.
 """
 
-from repro.analysis.storage import PAPER_TABLE_IV_KB, StorageModel
+from report_common import reproduce
 
 TRH_VALUES = (4800, 2400, 1200)
 
 
-def test_table4_storage(benchmark):
-    model = StorageModel()
-    table = benchmark.pedantic(lambda: model.table(TRH_VALUES), rounds=1, iterations=1)
-
-    print("\n=== Table IV: storage per bank (KB) — model vs paper ===")
-    print(f"{'TRH':>6s}{'RRS RIT':>10s}{'RRS tot':>10s}{'Scale RIT':>11s}{'Scale tot':>11s}{'ratio':>7s}{'paper':>7s}")
-    for trh in TRH_VALUES:
-        rrs = table[trh]["rrs"]
-        scale = table[trh]["scale-srs"]
-        paper = PAPER_TABLE_IV_KB[trh]
-        paper_ratio = paper["rrs_total"] / paper["scale_total"]
-        print(
-            f"{trh:>6d}{rrs.rit_kb:>10.1f}{rrs.total_kb:>10.1f}"
-            f"{scale.rit_kb:>11.1f}{scale.total_kb:>11.1f}"
-            f"{model.storage_ratio(trh):>7.2f}{paper_ratio:>7.2f}"
-        )
-    print(f"DRAM swap-counter overhead: {model.dram_counter_overhead_fraction()*100:.3f}% of capacity")
+def test_table4_storage(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("table4", figure_store), rounds=1, iterations=1
+    )
+    cells = data.results.by("mitigation", "trh")
 
     # Anchors at TRH=4800 (absolute match).
-    assert abs(table[4800]["rrs"].rit_kb - 35.0) < 1.5
-    assert abs(table[4800]["scale-srs"].rit_kb - 9.4) < 1.0
-    assert abs(table[4800]["rrs"].total_kb - 36.0) < 1.5
+    assert abs(cells[("rrs", 4800)].rit_bytes / 1024 - 35.0) < 1.5
+    assert abs(cells[("scale-srs", 4800)].rit_bytes / 1024 - 9.4) < 1.0
+    assert abs(cells[("rrs", 4800)].total_kb - 36.0) < 1.5
 
     # Headline ratio: ~2x at 4800 growing past 3x at 1200 (paper: 3.3x).
-    assert model.storage_ratio(1200) > 3.0
+    ratio_1200 = (
+        cells[("rrs", 1200)].total_bytes / cells[("scale-srs", 1200)].total_bytes
+    )
+    assert ratio_1200 > 3.0
     # Scale-SRS is smaller everywhere, and the RIT dominates at low TRH.
     for trh in TRH_VALUES:
-        assert table[trh]["scale-srs"].total_kb < table[trh]["rrs"].total_kb
-    assert table[1200]["rrs"].rit_kb > table[4800]["rrs"].rit_kb * 3.5
+        assert cells[("scale-srs", trh)].total_kb < cells[("rrs", trh)].total_kb
+    assert cells[("rrs", 1200)].rit_bytes > cells[("rrs", 4800)].rit_bytes * 3.5

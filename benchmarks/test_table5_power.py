@@ -1,31 +1,36 @@
 """E14 / Table V: extra power per channel at TRH=4800.
 
 Paper rows: DRAM power overhead 0.5% (RRS) vs 0.2% (Scale-SRS); SRAM
-structure power 903 mW vs 703 mW (23% lower on-chip power).
+structure power 903 mW vs 703 mW (23% lower on-chip power). The figure's
+TRH=2400/1200 rows extrapolate the same models downward.
 """
 
-from repro.analysis.power import PowerModel
+from report_common import reproduce
 
 
-def test_table5_power(benchmark):
-    model = PowerModel()
-    table = benchmark.pedantic(lambda: model.table(4800), rounds=1, iterations=1)
+def test_table5_power(benchmark, figure_store):
+    data, _ = benchmark.pedantic(
+        lambda: reproduce("table5", figure_store), rounds=1, iterations=1
+    )
+    cells = data.results.by("mitigation", "trh")
+    rrs = cells[("rrs", 4800)]
+    scale = cells[("scale-srs", 4800)]
 
-    print("\n=== Table V: extra power per channel (TRH = 4800) ===")
-    print(f"{'design':<12s}{'DRAM overhead':>15s}{'SRAM power':>12s}")
-    for design, row in table.items():
-        print(f"{design:<12s}{row.dram_overhead_percent:>14.2f}%{row.sram_power_mw:>10.0f}mW")
-    saving = model.sram_power_saving_percent(4800)
-    print(f"Scale-SRS on-chip power saving: {saving:.1f}%")
-
-    assert abs(table["rrs"].dram_overhead_percent - 0.5) < 0.02
-    assert abs(table["scale-srs"].dram_overhead_percent - 0.2) < 0.02
-    assert abs(table["rrs"].sram_power_mw - 903) < 20
-    assert abs(table["scale-srs"].sram_power_mw - 703) < 25
+    assert abs(rrs.dram_overhead_percent - 0.5) < 0.02
+    assert abs(scale.dram_overhead_percent - 0.2) < 0.02
+    assert abs(rrs.sram_power_mw - 903) < 20
+    assert abs(scale.sram_power_mw - 703) < 25
+    saving = (1.0 - scale.sram_power_mw / rrs.sram_power_mw) * 100.0
     assert abs(saving - 23.0) < 2.0
 
     # Extrapolation shape: overheads grow as TRH shrinks, Scale-SRS stays
     # cheaper.
     for trh in (2400, 1200):
-        assert model.dram_overhead_percent(trh, "rrs") > table["rrs"].dram_overhead_percent
-        assert model.sram_power_mw(trh, "scale-srs") < model.sram_power_mw(trh, "rrs")
+        assert (
+            cells[("rrs", trh)].dram_overhead_percent
+            > rrs.dram_overhead_percent
+        )
+        assert (
+            cells[("scale-srs", trh)].sram_power_mw
+            < cells[("rrs", trh)].sram_power_mw
+        )

@@ -16,6 +16,9 @@ Commands:
 - ``outliers`` — the Figure 13 outlier-appearance model.
 - ``storage`` — Table IV storage breakdowns.
 - ``power`` — Table V power overheads.
+- ``report`` — emit registered paper figures/tables (markdown + CSV)
+  from the result store, executing only missing cells.
+- ``store ls`` / ``store prune`` — inspect and clean a result store.
 
 Mitigation and tracker choices are generated from
 :mod:`repro.registry`, so a newly registered design shows up here with
@@ -33,6 +36,12 @@ cell, ``--resume`` reuses stored cells bit-identically (rerun a killed
 grid and only the missing cells execute), and ``--shard i/n`` runs one
 digest-stable slice of the grid — ``n`` such runs against a shared
 store cover the grid exactly once (see :mod:`repro.sim.store`).
+
+``report`` sits on top of the same engine: every registered figure
+(:mod:`repro.report`) resolves its grids against ``--store`` and only
+missing cells execute, so ``repro report --all --store DIR`` run twice
+prints ``report: executed 0`` the second time, and ``--shard i/n``
+splits a full-paper reproduction across hosts sharing one store.
 """
 
 from __future__ import annotations
@@ -434,6 +443,114 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import (
+        FIGURES,
+        ReportConfig,
+        build_figure,
+        figure_names,
+        render_figure,
+        resolve_figure,
+        write_artifact,
+    )
+
+    if args.list:
+        print(f"{'name':<22s}{'kind':<8s}description")
+        for info in FIGURES:
+            print(f"{info.name:<22s}{info.artifact:<8s}{info.description}")
+        return 0
+    names = list(figure_names()) if args.all else list(args.figures)
+    if not names:
+        raise SystemExit(
+            "repro report: pick figures (--figure NAME...), --all, or --list"
+        )
+    known = set(figure_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown figures: {', '.join(unknown)}; "
+            f"options: {', '.join(sorted(known))}"
+        )
+    if args.resume and not args.store:
+        raise SystemExit("--resume needs --store")
+    overrides = {}
+    if args.requests is not None:
+        overrides["requests"] = args.requests
+    if args.cores is not None:
+        overrides["cores"] = args.cores
+    if args.full:
+        overrides["full"] = True
+    config = ReportConfig.from_env(**overrides)
+    # A store makes reuse the point: rerunning a finished report should
+    # execute nothing without extra flags. --no-resume forces recompute.
+    reuse = args.resume if args.resume is not None else bool(args.store)
+    planned = executed = reused = 0
+    for name in names:
+        info, spec = build_figure(name, config)
+        data = resolve_figure(
+            spec,
+            store=args.store,
+            jobs=args.jobs,
+            reuse=reuse,
+            shard=args.shard,
+        )
+        planned += data.stats.planned
+        executed += data.stats.executed
+        reused += data.stats.reused
+        print(
+            f"{name}: executed {data.stats.executed}, reused "
+            f"{data.stats.reused} of {data.stats.planned} cells"
+        )
+        if args.shard:
+            # A shard holds an arbitrary slice of every grid; artifacts
+            # come from a final unsharded pass over the shared store.
+            continue
+        artifact = render_figure(info, spec, data)
+        if args.out:
+            for path in write_artifact(artifact, args.out):
+                print(f"wrote {path}")
+        else:
+            print()
+            print(artifact.to_markdown())
+    shard = f", shard {args.shard[0]}/{args.shard[1]}" if args.shard else ""
+    print(
+        f"report: executed {executed}, reused {reused} of "
+        f"{planned} cells{shard}"
+    )
+    return 0
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    from repro.sim.store import ResultStore
+
+    inventory = ResultStore(args.dir).inventory()
+    print(f"{'kind':<12s}{'schema':>7s}{'cells':>7s}")
+    for (kind, version), count in sorted(inventory.live.items()):
+        print(f"{kind:<12s}{f'v{version}':>7s}{count:>7d}")
+    print(
+        f"total {inventory.total} entries: "
+        f"{sum(inventory.live.values())} live, "
+        f"{len(inventory.stale)} stale, {len(inventory.corrupt)} corrupt"
+    )
+    if args.verbose:
+        for path, reason in inventory.prunable:
+            print(f"  {os.path.basename(path)}: {reason}")
+    if inventory.prunable:
+        print("run 'repro store prune' to remove stale/corrupt entries")
+    return 0
+
+
+def _cmd_store_prune(args: argparse.Namespace) -> int:
+    from repro.sim.store import ResultStore
+
+    removals = ResultStore(args.dir).prune(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    for path, reason in removals:
+        print(f"{verb} {os.path.basename(path)}: {reason}")
+    print(f"{verb} {len(removals)} entries")
+    return 0
+
+
 def _add_sim_options(
     parser: argparse.ArgumentParser,
     mitigation_names: List[str],
@@ -584,13 +701,77 @@ def build_parser() -> argparse.ArgumentParser:
     _add_eval_options(p)
     p.set_defaults(func=_cmd_power)
 
+    p = sub.add_parser(
+        "report",
+        help="emit registered paper figures/tables from the result store",
+    )
+    p.add_argument("--list", action="store_true",
+                   help="list the registered figures and exit")
+    p.add_argument("--figure", dest="figures", nargs="+", default=[],
+                   metavar="NAME", help="figures to reproduce (see --list)")
+    p.add_argument("--all", action="store_true",
+                   help="reproduce every registered figure")
+    p.add_argument("--out", metavar="DIR",
+                   help="write <figure>.md/.csv artifacts here instead of "
+                        "printing markdown")
+    p.add_argument("--requests", type=int, default=None,
+                   help="memory requests per core for perf figures "
+                        "(default: 25000 or REPRO_BENCH_REQUESTS)")
+    p.add_argument("--cores", type=int, default=None,
+                   help="simulated cores for perf figures "
+                        "(default: 4 or REPRO_BENCH_CORES)")
+    p.add_argument("--full", action="store_true",
+                   help="per-workload figures over all 78 workloads")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: CPU count)")
+    p.add_argument("--store", metavar="DIR",
+                   help="resolve figures against this result store "
+                        "(only missing cells execute)")
+    p.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="reuse cells already in --store (default: on "
+                        "whenever --store is given; --no-resume recomputes)")
+    p.add_argument("--shard", metavar="I/N", type=_shard_type,
+                   help="execute only this digest-stable slice of every "
+                        "figure's cells (no artifacts; render with a final "
+                        "unsharded pass)")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("store", help="inspect and clean a result store")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    p = store_sub.add_parser(
+        "ls", help="per-kind cell counts and schema versions"
+    )
+    p.add_argument("dir", help="result store directory")
+    p.add_argument("--verbose", action="store_true",
+                   help="list each stale/corrupt entry with its reason")
+    p.set_defaults(func=_cmd_store_ls)
+
+    p = store_sub.add_parser(
+        "prune", help="remove stale/corrupt entries (version-mismatched, "
+                      "unreadable)"
+    )
+    p.add_argument("dir", help="result store directory")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would be removed without deleting")
+    p.set_defaults(func=_cmd_store_prune)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # `repro ... | head` closed the pipe; exit quietly like a good
+        # filter (and keep the interpreter's shutdown flush from
+        # printing a second error).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -43,6 +43,13 @@ simulator), ``security`` (Juggernaut time-to-break, analytical plus
 Monte-Carlo), ``storage`` (Table IV), and ``power`` (Table V); see
 :mod:`repro.sim.evaluations`.
 
+*Figures* close the loop from evaluations back to the paper: every
+figure/table of the paper's evaluation is a registered builder
+producing a declarative :class:`~repro.report.spec.FigureSpec` (the
+experiment cells behind the artifact plus a render hook), which is how
+``repro report`` and the ``benchmarks/`` tier share one definition per
+figure (see :mod:`repro.report`).
+
 The registry module itself imports nothing from :mod:`repro.core`,
 :mod:`repro.trackers`, or :mod:`repro.workloads` — those modules import
 *it* to self-register. Lookup methods lazily import the built-in
@@ -154,6 +161,36 @@ class TrackerInfo:
     builder: Callable[[int, Any], Any]
     description: str = ""
     supports_batching: bool = False
+
+
+@dataclass(frozen=True)
+class FigureInfo:
+    """Registry record for one reproducible paper figure or table.
+
+    A figure is *declarative*: ``builder(config)`` returns a
+    :class:`~repro.report.spec.FigureSpec` — the experiment specs whose
+    cells produce the figure's data (resolved against a
+    :class:`~repro.sim.store.ResultStore`, executing only missing
+    cells) plus a render hook emitting the artifact as markdown/CSV.
+    The same registered definition drives both the ``repro report`` CLI
+    and the pytest benchmark tier (see :mod:`repro.report`).
+
+    Attributes:
+        name: Artifact name (``fig06``, ``table4``, ...); also the
+            output file stem.
+        builder: ``ReportConfig -> FigureSpec`` hook; must be cheap
+            (validation/listing calls it), deferring all simulation to
+            the resolve step.
+        title: Human-readable caption (markdown heading).
+        artifact: ``"figure"`` or ``"table"`` (presentation only).
+        description: One-line description for ``repro report --list``.
+    """
+
+    name: str
+    builder: Callable[[Any], Any]
+    title: str = ""
+    artifact: str = "figure"
+    description: str = ""
 
 
 @dataclass(frozen=True)
@@ -304,6 +341,10 @@ def _populate_evaluations() -> None:
     import repro.sim.evaluations  # noqa: F401  (registers the built-in kinds)
 
 
+def _populate_figures() -> None:
+    import repro.report.figures  # noqa: F401  (registers the paper's figures)
+
+
 MITIGATIONS: Registry[MitigationInfo] = Registry("mitigation", _populate_mitigations)
 TRACKERS: Registry[TrackerInfo] = Registry("tracker", _populate_trackers)
 WORKLOAD_SOURCES: Registry[WorkloadSourceInfo] = Registry(
@@ -312,6 +353,7 @@ WORKLOAD_SOURCES: Registry[WorkloadSourceInfo] = Registry(
 EVALUATIONS: Registry[EvaluationInfo] = Registry(
     "evaluation kind", _populate_evaluations
 )
+FIGURES: Registry[FigureInfo] = Registry("figure", _populate_figures)
 
 
 def register_mitigation(
@@ -577,6 +619,47 @@ def register_evaluation(
         return runner
 
     return decorate
+
+
+def register_figure(
+    name: str,
+    *,
+    title: str = "",
+    artifact: str = "figure",
+    description: str = "",
+) -> Callable[[Callable[[Any], Any]], Callable[[Any], Any]]:
+    """Function decorator registering a paper figure/table builder.
+
+    The decorated function is the figure's ``builder``
+    (``ReportConfig -> FigureSpec``); see :class:`FigureInfo` for the
+    contract and :mod:`repro.report.figures` for the built-in set.
+    ``artifact`` must be ``"figure"`` or ``"table"``.
+    """
+    if artifact not in ("figure", "table"):
+        raise ValueError(
+            f"figure {name!r}: artifact must be 'figure' or 'table', "
+            f"got {artifact!r}"
+        )
+
+    def decorate(builder: Callable[[Any], Any]) -> Callable[[Any], Any]:
+        FIGURES.add(
+            name,
+            FigureInfo(
+                name=name,
+                builder=builder,
+                title=title or name,
+                artifact=artifact,
+                description=description,
+            ),
+        )
+        return builder
+
+    return decorate
+
+
+def figure_names() -> Tuple[str, ...]:
+    """Registered figure/table names, registration order."""
+    return FIGURES.names()
 
 
 def evaluation_names() -> Tuple[str, ...]:

@@ -1,0 +1,12 @@
+"""The built-in figure inventory: every paper artifact, registered.
+
+Importing this package runs the :func:`repro.registry.register_figure`
+decorators in the submodules (grouped by the paper's narrative:
+motivation, the Juggernaut attack, performance, analytical models), so
+``FIGURES`` is fully populated afterwards — which is exactly what the
+registry's lazy populate hook does on first lookup.
+"""
+
+from repro.report.figures import attacks, models, motivation, perf
+
+__all__ = ["attacks", "models", "motivation", "perf"]

@@ -1,0 +1,271 @@
+"""Performance figures: normalized-IPC comparisons (Figures 1b, 4, 12, 14-16).
+
+Each figure is one ``perf`` grid — workloads x mitigations x TRH (x
+tracker for Figure 16) — rendered as per-workload normalized
+performance plus suite geometric means. Baselines are planned and
+deduplicated by the engine; the store makes the grids shared property:
+Figure 15's RRS cells serve Figure 1b's sweep, Figure 16's Misra-Gries
+half reuses Figure 15's cells, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.registry import register_figure
+from repro.report.render import Artifact, Table
+from repro.report.spec import FigureData, FigureSpec, ReportConfig
+from repro.sim.experiment import ExperimentSpec
+from repro.sim.results import geometric_mean, slowdown_percent
+
+
+def perf_spec(
+    config: ReportConfig,
+    workloads: Sequence[str],
+    mitigations: Sequence[str],
+    trh_values: Sequence[int],
+    trackers: Optional[Sequence[str]] = None,
+) -> ExperimentSpec:
+    """One declarative perf grid under the report's scaled knobs."""
+    grid = {"trh": list(trh_values)}
+    if trackers is not None:
+        grid["tracker"] = list(trackers)
+    return ExperimentSpec(
+        workloads=list(workloads),
+        mitigations=list(mitigations),
+        base_params=config.perf_params(trh_values[0]),
+        grid=grid,
+    )
+
+
+def normalized_tables(
+    data: FigureData,
+    mitigations: Sequence[str],
+    trh_values: Sequence[int],
+    trackers: Sequence[Optional[str]] = (None,),
+) -> List[Table]:
+    """The standard perf-figure layout: one per-workload table per
+    (tracker, TRH) slice plus a single suite-geomean table, with an
+    average-slowdown note row built in (``ALL`` suite)."""
+    tables: List[Table] = []
+    geomean_rows: List[List[object]] = []
+    for tracker in trackers:
+        for trh in trh_values:
+            subset = data.results.filter(trh=trh, tracker=tracker)
+            name_parts = []
+            if tracker is not None and len(trackers) > 1:
+                name_parts.append(tracker)
+            if len(trh_values) > 1:
+                name_parts.append(f"trh{trh}")
+            table = subset.normalized_table()
+            tables.append(
+                Table(
+                    name="-".join(name_parts),
+                    columns=["workload"] + list(mitigations),
+                    rows=[
+                        [workload] + [row.get(m) for m in mitigations]
+                        for workload, row in table.items()
+                    ],
+                )
+            )
+            label = [tracker, trh] if len(trackers) > 1 else [trh]
+            for suite, row in sorted(subset.suite_geomeans().items()):
+                geomean_rows.append(
+                    label + [suite] + [row.get(m) for m in mitigations]
+                )
+    label_columns = (
+        ["tracker", "trh"] if len(trackers) > 1 else ["trh"]
+    )
+    tables.append(
+        Table(
+            name="geomeans",
+            columns=label_columns + ["suite"] + list(mitigations),
+            rows=geomean_rows,
+        )
+    )
+    return tables
+
+
+def _slowdown_notes(
+    data: FigureData,
+    mitigations: Sequence[str],
+    trh_values: Sequence[int],
+) -> List[str]:
+    """Average-slowdown one-liners (the paper's headline percentages)."""
+    notes = []
+    for trh in trh_values:
+        subset = data.results.filter(trh=trh)
+        means = subset.suite_geomeans().get("ALL", {})
+        parts = [
+            f"{m} {slowdown_percent(means[m]):.2f}%"
+            for m in mitigations
+            if m in means
+        ]
+        if parts:
+            notes.append(
+                f"average slowdown at TRH={trh}: " + ", ".join(parts)
+            )
+    return notes
+
+
+@register_figure(
+    "fig01b",
+    title="Figure 1b: normalized performance of RRS as TRH scales down",
+    description="RRS costs ~0.3% at TRH=4800 but degrades sharply below",
+)
+def fig01b(config: ReportConfig) -> FigureSpec:
+    """RRS-only TRH sweep on a hot/streaming/compute workload mix."""
+    workloads = ["gcc", "hmmer", "sphinx3", "soplex", "lbm", "povray"]
+    trh_values = [4800, 2400, 1200]
+
+    def render(data: FigureData) -> Artifact:
+        tables = normalized_tables(data, ["rrs"], trh_values)
+        means = [
+            geometric_mean(
+                [
+                    data.results.normalized(r)
+                    for r in data.results.filter(trh=trh, mitigation="rrs")
+                    if r.mitigation == "rrs"
+                ]
+            )
+            for trh in trh_values
+        ]
+        tables.append(
+            Table(
+                name="means",
+                columns=["trh", "rrs"],
+                rows=[[t, m] for t, m in zip(trh_values, means)],
+            )
+        )
+        return Artifact(tables=tables)
+
+    return FigureSpec(
+        specs=[perf_spec(config, workloads, ["rrs"], trh_values)],
+        render=render,
+    )
+
+
+@register_figure(
+    "fig04",
+    title="Figure 4: RRS with vs without immediate unswap operations",
+    description="skipping immediate unswaps costs an extra 3-7% slowdown",
+)
+def fig04(config: ReportConfig) -> FigureSpec:
+    """The unswap ablation (rrs vs rrs-no-unswap) at TRH 1200/2400."""
+    workloads = [
+        "gcc", "hmmer", "sphinx3", "bzip2", "soplex", "comm1", "lbm", "povray",
+    ]
+    mitigations = ["rrs", "rrs-no-unswap"]
+    trh_values = [1200, 2400]
+
+    def render(data: FigureData) -> Artifact:
+        return Artifact(
+            tables=normalized_tables(data, mitigations, trh_values),
+            notes=_slowdown_notes(data, mitigations, trh_values),
+        )
+
+    return FigureSpec(
+        specs=[perf_spec(config, workloads, mitigations, trh_values)],
+        render=render,
+    )
+
+
+@register_figure(
+    "fig12",
+    title="Figure 12: normalized performance of SRS vs RRS (equal swap rate)",
+    description="equal swap rates give the designs similar slowdowns",
+)
+def fig12(config: ReportConfig) -> FigureSpec:
+    """SRS vs RRS at swap rate 6 across TRH."""
+    workloads = [
+        "gcc", "hmmer", "sphinx3", "bzip2", "soplex", "pr", "comm1", "lbm",
+    ]
+    mitigations = ["rrs", "srs"]
+    trh_values = [1200, 2400, 4800]
+
+    def render(data: FigureData) -> Artifact:
+        return Artifact(
+            tables=normalized_tables(data, mitigations, trh_values),
+            notes=_slowdown_notes(data, mitigations, trh_values),
+        )
+
+    return FigureSpec(
+        specs=[perf_spec(config, workloads, mitigations, trh_values)],
+        render=render,
+    )
+
+
+@register_figure(
+    "fig14",
+    title="Figure 14: Scale-SRS vs RRS normalized performance at TRH=1200",
+    description="the headline per-workload comparison (RRS 4% vs 0.7% loss)",
+)
+def fig14(config: ReportConfig) -> FigureSpec:
+    """The paper's headline per-workload bars (detailed subset unless
+    the config's ``full`` switch selects all 78 workloads)."""
+    mitigations = ["rrs", "scale-srs"]
+
+    def render(data: FigureData) -> Artifact:
+        return Artifact(
+            tables=normalized_tables(data, mitigations, [1200]),
+            notes=_slowdown_notes(data, mitigations, [1200]),
+        )
+
+    return FigureSpec(
+        specs=[perf_spec(config, config.perf_workloads(), mitigations, [1200])],
+        render=render,
+    )
+
+
+@register_figure(
+    "fig15",
+    title="Figure 15: TRH sensitivity, 4800 down to 512 (Misra-Gries)",
+    description="the slowdown gap widens monotonically as TRH scales down",
+)
+def fig15(config: ReportConfig) -> FigureSpec:
+    """Scale-SRS vs RRS across four thresholds."""
+    workloads = [
+        "gcc", "hmmer", "sphinx3", "soplex", "pr", "comm1", "lbm", "povray",
+    ]
+    mitigations = ["rrs", "scale-srs"]
+    trh_values = [4800, 2400, 1200, 512]
+
+    def render(data: FigureData) -> Artifact:
+        return Artifact(
+            tables=normalized_tables(data, mitigations, trh_values),
+            notes=_slowdown_notes(data, mitigations, trh_values),
+        )
+
+    return FigureSpec(
+        specs=[perf_spec(config, workloads, mitigations, trh_values)],
+        render=render,
+    )
+
+
+@register_figure(
+    "fig16",
+    title="Figure 16: TRH sensitivity under the Hydra tracker",
+    description="Hydra's counter-cache traffic amplifies RRS's disadvantage",
+)
+def fig16(config: ReportConfig) -> FigureSpec:
+    """The Figure 15 comparison with tracker as an extra grid axis."""
+    workloads = ["gcc", "hmmer", "sphinx3", "soplex", "pr", "comm1", "lbm"]
+    mitigations = ["rrs", "scale-srs"]
+    trh_values = [4800, 1200, 512]
+    trackers = ["hydra", "misra-gries"]
+
+    def render(data: FigureData) -> Artifact:
+        return Artifact(
+            tables=normalized_tables(
+                data, mitigations, trh_values, trackers=trackers
+            ),
+        )
+
+    return FigureSpec(
+        specs=[
+            perf_spec(
+                config, workloads, mitigations, trh_values, trackers=trackers
+            )
+        ],
+        render=render,
+    )

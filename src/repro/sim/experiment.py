@@ -704,6 +704,42 @@ class ResultSet:
 
         return ResultSet([r for r in self.results if keep(r)])
 
+    def by(self, *attrs: str) -> Dict[Any, Any]:
+        """Index the set by result attributes: ``{key: result}``.
+
+        ``key`` is the attribute tuple (a bare value for a single
+        attribute). Attributes missing on the record fall back to its
+        ``params`` dataclass, so grid axes (``swap_rate``, ``rounds``,
+        ``tracker``...) key directly::
+
+            point = results.by("mitigation", "trh")[("rrs", 1200)]
+
+        Duplicate keys raise — the caller's key set must identify cells
+        uniquely (``filter`` down or add attributes otherwise).
+        """
+        if not attrs:
+            raise ValueError("by() needs at least one attribute name")
+
+        def value_of(result: Any, attr: str) -> Any:
+            missing = object()
+            value = getattr(result, attr, missing)
+            if value is missing:
+                value = getattr(result.params, attr)
+            return value
+
+        indexed: Dict[Any, Any] = {}
+        for result in self.results:
+            key: Any = tuple(value_of(result, attr) for attr in attrs)
+            if len(attrs) == 1:
+                key = key[0]
+            if key in indexed:
+                raise ValueError(
+                    f"duplicate key {key!r} for by({', '.join(attrs)}); "
+                    "filter() the set down or add attributes"
+                )
+            indexed[key] = result
+        return indexed
+
     @property
     def workloads(self) -> List[str]:
         """Workload names present in the set, first-seen order."""

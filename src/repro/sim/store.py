@@ -38,7 +38,8 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Any, Dict, Iterator, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.registry import EVALUATIONS
 
@@ -160,6 +161,32 @@ def parse_shard(text: str) -> Tuple[int, int]:
     return index, count
 
 
+@dataclass
+class StoreInventory:
+    """What a :meth:`ResultStore.inventory` scan found.
+
+    ``live`` counts well-formed entries per ``(kind, stored schema
+    version)`` — including versions the registered kind no longer
+    declares (those are *stale*: reads treat them as misses).
+    ``stale`` and ``corrupt`` list the entry paths :meth:`ResultStore.prune`
+    would remove, with a reason each.
+    """
+
+    live: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    stale: List[Tuple[str, str]] = field(default_factory=list)
+    corrupt: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Total entry files scanned."""
+        return sum(self.live.values()) + len(self.stale) + len(self.corrupt)
+
+    @property
+    def prunable(self) -> List[Tuple[str, str]]:
+        """(path, reason) of every entry pruning would remove."""
+        return self.stale + self.corrupt
+
+
 class ResultStore:
     """A directory of completed experiment cells, one JSON file each.
 
@@ -216,6 +243,65 @@ class ResultStore:
             return info.result_from_dict(payload["result"])
         except (OSError, ValueError, KeyError, TypeError):
             return None
+
+    def _classify_entry(self, path: str) -> Tuple[str, Any]:
+        """``(state, detail)`` of one entry file.
+
+        States: ``live`` (well-formed; detail is the ``(kind, version)``
+        bucket), ``stale`` (well-formed but unreadable by the current
+        registrations — unknown kind, old schema version, or a result
+        record the kind's deserializer rejects), ``corrupt``
+        (unparseable JSON or a payload missing the envelope fields).
+        Reads already treat stale and corrupt entries as silent misses;
+        this makes them visible to ``repro store ls`` / ``prune``.
+        """
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            kind = payload["kind"]
+            version = payload["schema_version"]
+            result = payload["result"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return "corrupt", "unreadable or truncated payload"
+        if kind not in EVALUATIONS:
+            return "stale", f"unknown evaluation kind {kind!r}"
+        info = EVALUATIONS.get(kind)
+        if version != info.schema_version:
+            return (
+                "stale",
+                f"{kind} schema v{version} (current v{info.schema_version})",
+            )
+        try:
+            info.result_from_dict(result)
+        except Exception:
+            return "stale", f"{kind} result fails to deserialize"
+        return "live", (kind, version)
+
+    def inventory(self) -> StoreInventory:
+        """Scan every entry: per-kind live counts plus prunable files."""
+        report = StoreInventory()
+        for path in self._entry_files():
+            state, detail = self._classify_entry(path)
+            if state == "live":
+                report.live[detail] = report.live.get(detail, 0) + 1
+            elif state == "stale":
+                report.stale.append((path, detail))
+            else:
+                report.corrupt.append((path, detail))
+        return report
+
+    def prune(self, dry_run: bool = False) -> List[Tuple[str, str]]:
+        """Delete stale/corrupt entries (the silent misses); returns
+        ``(path, reason)`` per removed — or, with ``dry_run``, per
+        would-be-removed — entry. Live entries are never touched."""
+        removals = self.inventory().prunable
+        if not dry_run:
+            for path, _ in removals:
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass  # concurrent prune; the entry is gone either way
+        return removals
 
     def put(self, cell: Any, result: Any, digest: Optional[str] = None) -> str:
         """Persist ``cell``'s result atomically; returns the entry path.

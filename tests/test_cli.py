@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -270,3 +272,118 @@ class TestCommands:
         from repro.sim import ResultSet
         reloaded = ResultSet.load(str(json_path))
         assert set(reloaded.workloads) == {"povray", "lbm"}
+
+
+class TestReportCommand:
+    def test_parser_registers_report_and_store(self):
+        parser = build_parser()
+        for command in (
+            ["report", "--list"],
+            ["report", "--figure", "table1"],
+            ["report", "--all"],
+            ["store", "ls", "x"],
+            ["store", "prune", "x"],
+        ):
+            assert callable(parser.parse_args(command).func)
+        args = parser.parse_args(
+            ["report", "--figure", "table4", "fig13", "--shard", "0/2"]
+        )
+        assert args.figures == ["table4", "fig13"]
+        assert args.shard == (0, 2)
+
+    def test_list_names_every_figure(self, capsys):
+        from repro.registry import figure_names
+
+        assert main(["report", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in figure_names():
+            assert name in out
+
+    def test_requires_figures_or_all(self):
+        with pytest.raises(SystemExit, match="pick figures"):
+            main(["report"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit, match="unknown figures: nope"):
+            main(["report", "--figure", "nope"])
+
+    def test_resume_requires_store(self):
+        with pytest.raises(SystemExit, match="--resume needs --store"):
+            main(["report", "--figure", "table1", "--resume"])
+
+    def test_analytic_figure_prints_markdown(self, capsys):
+        assert main(["report", "--figure", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1: executed 0, reused 0 of 0 cells" in out
+        assert "## Table I" in out
+        assert "| LPDDR4 (new) | 4800 |" in out
+        assert "report: executed 0, reused 0 of 0 cells" in out
+
+    def test_store_makes_second_run_execute_zero(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        out_dir = str(tmp_path / "report")
+        argv = ["report", "--figure", "table4", "table5",
+                "--store", store, "--out", out_dir]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "report: executed 12, reused 0 of 12 cells" in first
+        assert os.path.exists(os.path.join(out_dir, "table4.md"))
+        assert os.path.exists(os.path.join(out_dir, "table4.csv"))
+        assert os.path.exists(os.path.join(out_dir, "table5.csv"))
+        # The store makes the rerun free — no --resume flag needed.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "report: executed 0, reused 12 of 12 cells" in second
+        # --no-resume forces recomputation against the same store.
+        assert main(argv + ["--no-resume"]) == 0
+        third = capsys.readouterr().out
+        assert "report: executed 12, reused 0 of 12 cells" in third
+
+    def test_shard_runs_skip_artifacts(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        out_dir = str(tmp_path / "report")
+        argv = ["report", "--figure", "table4", "--store", store,
+                "--out", out_dir]
+        for index in range(2):
+            assert main(argv + ["--shard", f"{index}/2"]) == 0
+            out = capsys.readouterr().out
+            assert f"shard {index}/2" in out
+            assert not os.path.exists(os.path.join(out_dir, "table4.md"))
+        # Final unsharded pass: everything reused, artifact written.
+        assert main(argv) == 0
+        final = capsys.readouterr().out
+        assert "report: executed 0, reused 6 of 6 cells" in final
+        assert os.path.exists(os.path.join(out_dir, "table4.md"))
+
+
+class TestStoreCommand:
+    def test_ls_and_prune(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["report", "--figure", "table4", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "ls", store]) == 0
+        out = capsys.readouterr().out
+        assert "storage" in out and "v1" in out
+        assert "total 6 entries: 6 live, 0 stale, 0 corrupt" in out
+        assert "prune" not in out  # nothing to clean, no hint
+        # Corrupt one entry; ls flags it, prune --dry-run keeps it.
+        victim = os.path.join(
+            store, sorted(os.listdir(store))[0]
+        )
+        with open(victim, "w", encoding="utf-8") as handle:
+            handle.write("{ nope")
+        assert main(["store", "ls", store, "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "5 live, 0 stale, 1 corrupt" in out
+        assert "unreadable or truncated payload" in out
+        assert "repro store prune" in out
+        assert main(["store", "prune", store, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove 1 entries" in out
+        assert os.path.exists(victim)
+        assert main(["store", "prune", store]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 entries" in out
+        assert not os.path.exists(victim)
+        assert main(["store", "ls", store]) == 0
+        assert "5 live, 0 stale, 0 corrupt" in capsys.readouterr().out

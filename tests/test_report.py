@@ -1,0 +1,274 @@
+"""Tests for the declarative report pipeline (``repro.report``)."""
+
+import os
+
+import pytest
+
+from repro.registry import FIGURES, figure_names, register_figure
+from repro.report import (
+    Artifact,
+    ReportConfig,
+    Table,
+    build_figure,
+    format_value,
+    render_figure,
+    reproduce_figure,
+    resolve_figure,
+    save_plots,
+    write_artifact,
+)
+from repro.report.spec import DETAILED_WORKLOADS, FigureSpec
+from repro.sim import ExperimentSpec, ResultStore
+
+EXPECTED_FIGURES = (
+    "table1",
+    "fig01a",
+    "motiv-half-double",
+    "fig01b",
+    "fig04",
+    "fig06",
+    "fig07",
+    "fig10",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "sec3c-multibank",
+    "table4",
+    "table5",
+    "sec5c-llc",
+    "disc-open-page",
+    "relwork-comparators",
+)
+
+TABLE1_MD = """\
+## Table I: demonstrated Row Hammer thresholds, 2014-2021
+
+| generation | trh |
+| --- | --- |
+| DDR3 (old) | 139000 |
+| DDR3 (new) | 22400 |
+| DDR4 (old) | 17500 |
+| DDR4 (new) | 10000 |
+| LPDDR4 (old) | 16800 |
+| LPDDR4 (new) | 4800 |
+
+- DDR3(old) -> LPDDR4(new) scaling: 29.0x
+"""
+
+TABLE4_MD = """\
+## Table IV: on-chip storage per bank, RRS vs Scale-SRS
+
+| trh | rrs_rit_kb | rrs_total_kb | scale_rit_kb | scale_total_kb | ratio |
+| --- | --- | --- | --- | --- | --- |
+| 4800 | 34.9453 | 35.9453 | 8.74072 | 18.025 | 1.99419 |
+| 2400 | 69.8643 | 70.8643 | 17.4727 | 26.8851 | 2.63582 |
+| 1200 | 139.711 | 140.711 | 34.9321 | 44.3446 | 3.17312 |
+
+- DRAM swap-counter overhead: 0.049% of capacity
+"""
+
+TABLE4_CSV = """\
+trh,rrs_rit_kb,rrs_total_kb,scale_rit_kb,scale_total_kb,ratio\r
+4800,34.9453,35.9453,8.74072,18.025,1.99419\r
+2400,69.8643,70.8643,17.4727,26.8851,2.63582\r
+1200,139.711,140.711,34.9321,44.3446,3.17312\r
+"""
+
+
+class TestRegistry:
+    def test_builtin_figures_registered(self):
+        names = figure_names()
+        for expected in EXPECTED_FIGURES:
+            assert expected in names
+        assert len(names) >= len(EXPECTED_FIGURES)
+
+    def test_every_builder_round_trips(self):
+        """Every registered builder is cheap and yields a well-formed
+        spec: experiment specs or an analytic hook, plus a render
+        hook."""
+        config = ReportConfig()
+        for name in figure_names():
+            info, spec = build_figure(name, config)
+            assert info.name == name
+            assert info.artifact in ("figure", "table")
+            assert info.title
+            assert isinstance(spec, FigureSpec)
+            assert spec.specs or spec.analytic is not None
+            assert callable(spec.render)
+            assert spec.config is config
+            for experiment in spec.specs:
+                assert isinstance(experiment, ExperimentSpec)
+
+    def test_register_figure_round_trip(self):
+        @register_figure("test-fig", title="A test", artifact="table",
+                         description="registry round-trip")
+        def build(config):
+            return FigureSpec(render=lambda data: Artifact())
+
+        try:
+            assert "test-fig" in figure_names()
+            info = FIGURES.get("test-fig")
+            assert info.builder is build
+            assert info.title == "A test"
+            assert info.artifact == "table"
+        finally:
+            FIGURES.remove("test-fig")
+        assert "test-fig" not in figure_names()
+
+    def test_register_rejects_bad_artifact_kind(self):
+        with pytest.raises(ValueError, match="artifact"):
+            register_figure("bad-fig", artifact="chart")
+
+    def test_build_unknown_figure_raises(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            build_figure("no-such-figure")
+
+
+class TestConfig:
+    def test_from_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_REQUESTS", "123")
+        monkeypatch.setenv("REPRO_BENCH_CORES", "2")
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        config = ReportConfig.from_env()
+        assert config.requests == 123
+        assert config.cores == 2
+        assert config.full
+
+    def test_perf_workloads_detailed_vs_full(self):
+        assert ReportConfig().perf_workloads() == list(DETAILED_WORKLOADS)
+        full = ReportConfig(full=True).perf_workloads()
+        assert set(DETAILED_WORKLOADS) < set(full)
+
+    def test_perf_params_and_scaled(self):
+        config = ReportConfig(requests=1000, cores=2, seed=5)
+        params = config.perf_params(2400)
+        assert params.trh == 2400
+        assert params.requests_per_core == 1000
+        assert params.num_cores == 2
+        assert params.seed == 5
+        smaller = config.scaled(requests=10)
+        assert smaller.requests == 10
+        assert smaller.cores == 2
+
+
+class TestResolve:
+    def test_second_resolve_executes_zero(self, tmp_path):
+        store = str(tmp_path / "store")
+        info, spec = build_figure("table4")
+        fresh = resolve_figure(spec, store=store)
+        assert fresh.stats.planned == 6
+        assert fresh.stats.executed == 6
+        assert fresh.stats.reused == 0
+        again = resolve_figure(spec, store=store)
+        assert again.stats.executed == 0
+        assert again.stats.reused == 6
+        assert again.results.to_json() == fresh.results.to_json()
+
+    def test_store_backed_artifact_matches_storeless(self, tmp_path):
+        data, storeless = reproduce_figure("table4")
+        _, stored = reproduce_figure("table4", store=str(tmp_path / "s"))
+        assert stored.to_markdown() == storeless.to_markdown()
+        assert data.extras  # analytic hook ran
+
+    def test_shards_merge_to_full_artifact(self, tmp_path):
+        """Two shard runs against one store cover every cell; the final
+        unsharded pass executes nothing and renders the exact artifact
+        a storeless run would."""
+        store = str(tmp_path / "store")
+        info, spec = build_figure("table4")
+        executed = 0
+        for index in range(2):
+            part = resolve_figure(spec, store=store, shard=(index, 2))
+            assert part.stats.shard == (index, 2)
+            assert not part.extras  # analytic hook skipped under shard
+            executed += part.stats.executed
+        assert executed == 6
+        final = resolve_figure(spec, store=store)
+        assert final.stats.executed == 0
+        assert final.stats.reused == 6
+        _, reference = reproduce_figure("table4")
+        artifact = render_figure(info, spec, final)
+        assert artifact.to_markdown() == reference.to_markdown()
+
+    def test_render_hook_must_return_artifact(self):
+        info = FIGURES.get("table1")
+        spec = FigureSpec(render=lambda data: {"not": "an artifact"})
+        data = resolve_figure(spec)
+        with pytest.raises(TypeError, match="expected Artifact"):
+            render_figure(info, spec, data)
+
+
+class TestGoldenArtifacts:
+    def test_table1_markdown(self):
+        _, artifact = reproduce_figure("table1")
+        assert artifact.kind == "table"
+        assert artifact.to_markdown() == TABLE1_MD
+
+    def test_table4_markdown_and_csv(self, tmp_path):
+        _, artifact = reproduce_figure("table4", store=str(tmp_path / "s"))
+        assert artifact.to_markdown() == TABLE4_MD
+        assert artifact.table().to_csv() == TABLE4_CSV
+
+
+class TestRender:
+    def test_format_value(self):
+        assert format_value(None) == ""
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(0.123456789) == "0.123457"
+        assert format_value(4800) == "4800"
+        assert format_value("gcc") == "gcc"
+
+    def test_artifact_table_lookup(self):
+        main = Table(columns=["a"], rows=[[1]])
+        named = Table(columns=["b"], rows=[[2]], name="means")
+        artifact = Artifact(tables=[main, named], name="fig")
+        assert artifact.table() is main
+        assert artifact.table("means") is named
+        with pytest.raises(LookupError, match="no table"):
+            artifact.table("missing")
+
+    def test_write_artifact_emits_md_and_csv(self, tmp_path):
+        artifact = Artifact(
+            tables=[
+                Table(columns=["x", "y"], rows=[[1, 2.5]]),
+                Table(columns=["w"], rows=[["gcc"]], name="means"),
+            ],
+            notes=["a note"],
+            name="figX",
+            title="Figure X",
+        )
+        paths = write_artifact(artifact, str(tmp_path))
+        names = sorted(os.path.basename(p) for p in paths)
+        assert names == ["figX.csv", "figX.md", "figX.means.csv"]
+        for path in paths:
+            assert os.path.exists(path)
+        text = open(paths[0], encoding="utf-8").read()
+        assert text.startswith("## Figure X")
+        assert "### means" in text
+        assert "- a note" in text
+
+    def test_save_plots_is_noop_without_matplotlib(self, tmp_path):
+        artifact = Artifact(
+            tables=[Table(columns=["x", "y"], rows=[[1, 2]])], name="f"
+        )
+        try:
+            import matplotlib  # noqa: F401
+        except ImportError:
+            assert save_plots(artifact, str(tmp_path)) == []
+
+
+class TestBenchmarkStoreSharing:
+    def test_overlapping_figures_share_cells(self, tmp_path):
+        """table4 and table5 draw disjoint kinds; fig13/table1 are
+        analytic — one store serves a mixed report incrementally."""
+        store = ResultStore(str(tmp_path / "store"))
+        first, _ = reproduce_figure("table4", store=store)
+        second, _ = reproduce_figure("table5", store=store)
+        assert first.stats.executed == 6
+        assert second.stats.executed == 6
+        third, _ = reproduce_figure("table4", store=store)
+        assert third.stats.executed == 0
+        assert len(store) == 12

@@ -348,3 +348,81 @@ class TestResultStore:
         reused = run_grid(spec, max_workers=1, store=store)
         assert reused.run_stats.reused == 1
         assert reused.to_json() == fresh.to_json()
+
+
+class TestInventoryAndPrune:
+    """Store maintenance: classify every entry, delete the dead ones."""
+
+    def fill(self, tmp_path):
+        store_dir = tmp_path / "store"
+        run_grid(STORAGE, max_workers=1, store=str(store_dir))
+        return store_dir, ResultStore(str(store_dir))
+
+    def corrupt_one(self, store_dir, index=0):
+        victim = str(store_dir / entry_files(store_dir)[index])
+        with open(victim, "w", encoding="utf-8") as handle:
+            handle.write("{ truncated")
+        return victim
+
+    def stale_one(self, store_dir, index=1, kind=None, version=999):
+        victim = str(store_dir / entry_files(store_dir)[index])
+        with open(victim, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if kind is not None:
+            payload["kind"] = kind
+        else:
+            payload["schema_version"] = version
+        with open(victim, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return victim
+
+    def test_inventory_counts_live_per_kind(self, tmp_path):
+        _, store = self.fill(tmp_path)
+        report = store.inventory()
+        assert report.live == {("storage", 1): 6}
+        assert report.stale == []
+        assert report.corrupt == []
+        assert report.total == 6
+        assert report.prunable == []
+
+    def test_inventory_flags_stale_and_corrupt(self, tmp_path):
+        store_dir, store = self.fill(tmp_path)
+        bad = self.corrupt_one(store_dir)
+        old = self.stale_one(store_dir, index=1)
+        alien = self.stale_one(store_dir, index=2, kind="no-such-kind")
+        report = store.inventory()
+        assert report.live == {("storage", 1): 3}
+        assert dict(report.corrupt)[bad] == "unreadable or truncated payload"
+        stale = dict(report.stale)
+        assert "current v1" in stale[old]
+        assert "unknown evaluation kind" in stale[alien]
+        assert report.total == 6
+        assert {path for path, _ in report.prunable} == {bad, old, alien}
+
+    def test_prune_dry_run_keeps_files(self, tmp_path):
+        store_dir, store = self.fill(tmp_path)
+        bad = self.corrupt_one(store_dir)
+        removals = store.prune(dry_run=True)
+        assert [path for path, _ in removals] == [bad]
+        assert os.path.exists(bad)
+        assert len(store) == 6
+
+    def test_prune_removes_only_dead_entries(self, tmp_path):
+        store_dir, store = self.fill(tmp_path)
+        bad = self.corrupt_one(store_dir)
+        old = self.stale_one(store_dir, index=1)
+        removed = store.prune()
+        assert {path for path, _ in removed} == {bad, old}
+        assert not os.path.exists(bad)
+        assert not os.path.exists(old)
+        assert len(store) == 4
+        assert store.inventory().live == {("storage", 1): 4}
+        # The grid heals the pruned cells and nothing else.
+        rerun = run_grid(STORAGE, max_workers=1, store=store)
+        assert rerun.run_stats.executed == 2
+        assert rerun.run_stats.reused == 4
+
+    def test_prune_empty_store(self, tmp_path):
+        store = ResultStore(str(tmp_path / "empty"))
+        assert store.prune() == []
+        assert store.inventory().total == 0

@@ -34,7 +34,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Packages whose public API must be fully documented. Globbed
 #: recursively, so subpackages (``repro.sim.engine``, ...) are enforced
 #: automatically.
-ENFORCED_PACKAGES = ("src/repro/workloads", "src/repro/sim", "src/repro/cpu")
+ENFORCED_PACKAGES = (
+    "src/repro/workloads",
+    "src/repro/sim",
+    "src/repro/cpu",
+    "src/repro/report",
+)
 
 #: Documents whose ``python`` code blocks must import cleanly.
 DOCUMENTS = ("README.md", "DESIGN.md")
