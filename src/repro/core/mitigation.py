@@ -122,23 +122,80 @@ class Mitigation(abc.ABC):
         """Advance lazy background work up to ``time``."""
 
     def batch_horizon(self) -> int:
-        """Demand accesses the controller may service without consulting
-        this mitigation per access.
+        """Demand ACTs the controller may service without a possible
+        mitigative action.
 
         Returns ``k`` with the following contract: for the next ``k``
-        demand accesses to this bank (any rows), :meth:`resolve` is the
-        identity, :meth:`is_pinned` is ``False``, :meth:`tick` is a
-        no-op, and :meth:`on_activation` is exactly ``tracker.observe``
-        (no trigger, no tracker DRAM traffic, no bank occupation) — so a
-        batched engine may service those accesses on a fused fast path
-        and commit the activations afterwards with
-        ``tracker.observe_batch``. The base implementation returns 0:
-        every access takes the scalar path. Designs whose quiescent
-        state is provable (no live swaps, no pins, a tracker with a
-        positive :meth:`~repro.trackers.base.Tracker.batch_horizon`)
-        override it.
+        demand activations on this bank (any rows),
+        :meth:`on_activation` performs no mitigative work — no swap, no
+        tracker DRAM traffic, no bank occupation — beyond exactly one
+        ``tracker.observe`` per ACT. A batched engine may therefore
+        service those ACTs on a fused fast path and commit the
+        activations afterwards with :meth:`observe_batch`, as long as it
+        also honours the rest of the quiescence contract separately:
+        row indirection via :meth:`resolve_map` (live view — swaps only
+        happen through full-path calls, so it is frozen within a span),
+        LLC pinning via :meth:`batch_pinned_view`, and background work
+        via :meth:`batch_quiet_until`. The base implementation returns 0
+        (every access takes the scalar path); swap designs delegate to
+        the tracker, whose triggers are the only swap source.
         """
         return 0
+
+    def row_headroom(self, row: int) -> int:
+        """ACTs of ``row`` alone guaranteed free of mitigative work.
+
+        Per-row companion to :meth:`batch_horizon`, valid while the
+        total number of ACTs deferred since the mitigation was last
+        consulted stays within :meth:`batch_slack`. Strictly tracker
+        delegation on every design (0 without a tracker): tracker
+        triggers are the only source of swaps, so a row that cannot
+        trigger cannot swap.
+        """
+        return 0
+
+    def batch_slack(self) -> int:
+        """Total deferred ACTs before :meth:`row_headroom` values held
+        by a caller degrade (see ``Tracker.batch_slack``)."""
+        return 0
+
+    def observe_batch(self, rows) -> None:
+        """Commit a fused span's activations to the tracker in bulk.
+
+        Bit-identical to the ``tracker.observe(row)`` calls
+        :meth:`on_activation` would have made, with the per-call
+        overhead hoisted. No-op without a tracker (matching designs
+        whose ``on_activation`` ignores the tracker in that case).
+        """
+        if self.tracker is not None:
+            self.tracker.observe_batch(rows)
+
+    def resolve_map(self) -> Optional[dict]:
+        """Live ``{logical row: physical location}`` view behind
+        :meth:`resolve`, or ``None`` when resolve is the identity.
+
+        Rows absent from the dict map to themselves. The dict is *live*
+        shared state, mutated only by full-path mitigation calls — so a
+        batched engine may hoist it for a fused span and still observe
+        every swap committed through the scalar path in between.
+        """
+        return None
+
+    def batch_pinned_view(self) -> Optional[set]:
+        """Live set of LLC-pinned rows behind :meth:`is_pinned`, or
+        ``None`` when nothing is ever pinned (every design but
+        Scale-SRS). Same liveness contract as :meth:`resolve_map`."""
+        return None
+
+    def batch_quiet_until(self) -> float:
+        """Instant before which :meth:`tick` is guaranteed a no-op.
+
+        ``inf`` for designs with no timed background work; SRS returns
+        its next scheduled place-back. A batched engine must route any
+        access at or past this instant through the scalar path so the
+        background work runs exactly where the scalar engine runs it.
+        """
+        return float("inf")
 
     def end_window(self, time: float) -> None:
         """Refresh-window boundary: reset tracker and epoch state."""
@@ -178,3 +235,13 @@ class BaselineMitigation(Mitigation):
         if self.tracker is None:
             return self.UNBOUNDED_HORIZON
         return self.tracker.batch_horizon()
+
+    def row_headroom(self, row: int) -> int:
+        if self.tracker is None:
+            return 0
+        return self.tracker.row_headroom(row)
+
+    def batch_slack(self) -> int:
+        if self.tracker is None:
+            return 0
+        return self.tracker.batch_slack()

@@ -53,6 +53,12 @@ class RRSIndirectionTable:
         """Location currently holding ``row``'s data."""
         return self._map.get(row, row)
 
+    def resolve_view(self) -> Dict[int, int]:
+        """The live mapping dict behind :meth:`resolve` (rows absent map
+        to themselves). Mutated in place by swap/unswap recording, so a
+        holder observes every committed swap without re-fetching."""
+        return self._map
+
     def is_swapped(self, row: int) -> bool:
         return row in self._map
 
@@ -150,6 +156,12 @@ class SRSIndirectionTable:
     def resolve(self, row: int) -> int:
         """Location currently holding ``row``'s data."""
         return self._loc_of.get(row, row)
+
+    def resolve_view(self) -> Dict[int, int]:
+        """The live real-part dict behind :meth:`resolve` (rows absent
+        map to themselves). Mutated in place by swaps and place-backs,
+        so a holder observes every committed remap without re-fetching."""
+        return self._loc_of
 
     def occupant(self, location: int) -> int:
         """Logical row whose data currently sits at ``location``."""

@@ -44,6 +44,7 @@ def rit_capacity(max_activations: int, swap_threshold: int) -> int:
     "rrs",
     description="Randomized Row-Swap (ASPLOS'22), the prior state of the art",
     default_swap_rate=6.0,
+    supports_batching=True,
     builder=lambda ctx: RandomizedRowSwap(
         ctx.bank, ctx.tracker, ctx.rng, keep_events=ctx.keep_events
     ),
@@ -95,9 +96,31 @@ class RandomizedRowSwap(Mitigation):
     def resolve(self, row: int) -> int:
         return self._rit.resolve(row)
 
+    def resolve_map(self):
+        return self._rit.resolve_view()
+
     @property
     def rit(self):
         return self._rit
+
+    # ------------------------------------------------------------------
+    # batching contract
+    #
+    # Tracker triggers are the *only* entry into the mitigation paths
+    # above (`on_activation` returns before any swap logic when the
+    # observation did not trigger), RRS schedules no timed background
+    # work (`tick` is the base no-op) and pins nothing — so the
+    # tracker's no-trigger guarantees are exactly this design's
+    # no-mitigative-work guarantees.
+
+    def batch_horizon(self) -> int:
+        return self.tracker.batch_horizon()
+
+    def row_headroom(self, row: int) -> int:
+        return self.tracker.row_headroom(row)
+
+    def batch_slack(self) -> int:
+        return self.tracker.batch_slack()
 
     # ------------------------------------------------------------------
     # mitigation trigger path
@@ -301,6 +324,7 @@ register_mitigation(
     "rrs-no-unswap",
     description="RRS ablation without immediate unswaps (Figure 4)",
     default_swap_rate=6.0,
+    supports_batching=True,
     builder=lambda ctx: RandomizedRowSwap(
         ctx.bank,
         ctx.tracker,

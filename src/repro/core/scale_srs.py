@@ -33,6 +33,7 @@ DEFAULT_SWAP_RATE = 3
     "scale-srs",
     description="Scale-SRS: half-rate SRS with outlier pinning in the LLC",
     default_swap_rate=3.0,
+    supports_batching=True,
     builder=lambda ctx: ScaleSecureRowSwap(
         ctx.bank,
         ctx.tracker,
@@ -97,6 +98,13 @@ class ScaleSecureRowSwap(SecureRowSwap):
     def pinned_locations(self) -> Set[int]:
         """Physical locations protected from further activations."""
         return set(self._pinned_locations)
+
+    def batch_pinned_view(self):
+        """Live pinned-row set behind :meth:`is_pinned`. Pins happen only
+        inside full-path swap handling and unpins only at window ends,
+        so a batched engine checking this set per fused access stays
+        bit-identical to per-access :meth:`is_pinned` calls."""
+        return self._pinned_rows
 
     # ------------------------------------------------------------------
     # detection -> pinning

@@ -38,6 +38,7 @@ from repro.trackers.base import Tracker
     "srs",
     description="Secure Row-Swap: swap-only RIT, lazy place-backs, detection",
     default_swap_rate=6.0,
+    supports_batching=True,
     builder=lambda ctx: SecureRowSwap(
         ctx.bank, ctx.tracker, ctx.rng, keep_events=ctx.keep_events
     ),
@@ -87,9 +88,38 @@ class SecureRowSwap(Mitigation):
     def resolve(self, row: int) -> int:
         return self._rit.resolve(row)
 
+    def resolve_map(self):
+        return self._rit.resolve_view()
+
     @property
     def rit(self) -> SRSIndirectionTable:
         return self._rit
+
+    # ------------------------------------------------------------------
+    # batching contract
+    #
+    # Like RRS, tracker triggers are the only entry into the swap path,
+    # so the trigger-freedom guarantees delegate to the tracker. SRS
+    # additionally runs timed background work (lazy place-backs), which
+    # `batch_quiet_until` exposes: `tick` is a strict no-op for any
+    # instant before the next scheduled place-back, so a batched engine
+    # keeps accesses before that instant fused and routes later ones
+    # through the scalar path, where the place-back runs exactly as the
+    # scalar engine would run it.
+
+    def batch_horizon(self) -> int:
+        return self.tracker.batch_horizon()
+
+    def row_headroom(self, row: int) -> int:
+        return self.tracker.row_headroom(row)
+
+    def batch_slack(self) -> int:
+        return self.tracker.batch_slack()
+
+    def batch_quiet_until(self) -> float:
+        if self._placeback_interval is None:
+            return float("inf")
+        return self._next_placeback
 
     # ------------------------------------------------------------------
     # mitigation trigger path

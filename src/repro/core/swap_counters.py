@@ -8,6 +8,14 @@ memory (0.05% of capacity: one 32-bit counter per row, 512 KB per bank of
 epoch register identifies the current epoch. Counter state from an older
 epoch is treated as zero, and when the epoch register wraps (all ones) all
 counters are bulk-reset (64 row reads, about 41 us every 4.6 hours).
+
+Batching note: swap-tracking counters mutate only inside the swap path
+(``read_and_update`` is called from ``SecureRowSwap._swap``) and at
+window boundaries (``advance_epoch``), both of which run on the scalar
+path of the batched engine. A fused span therefore never touches this
+module — its quiescence is implied by the mitigation's
+``batch_horizon``/``row_headroom`` trigger-freedom guarantees, and needs
+no separate horizon of its own.
 """
 
 from __future__ import annotations

@@ -70,10 +70,6 @@ class MisraGriesTracker(Tracker):
         # count -> rows at that count (only counts > spillover are kept).
         self._rows_at_count: Dict[int, Set[int]] = {}
         self.spillover_increments = 0
-        # Monotone (within a window) upper bound on every estimate the
-        # summary can produce; every observe raises it by at most one, so
-        # `threshold - 1 - ceiling` observations can never trigger.
-        self._ceiling = 0
 
     @staticmethod
     def required_entries(max_activations: int, threshold: int) -> int:
@@ -133,8 +129,6 @@ class MisraGriesTracker(Tracker):
             # counter (Misra-Gries decrement-all).
             self._raise_spillover()
             count = self.spillover
-        if count > self._ceiling:
-            self._ceiling = count
         triggered = count >= self.threshold
         if triggered and row in counts:
             self._bucket_remove(row, counts[row])
@@ -154,22 +148,136 @@ class MisraGriesTracker(Tracker):
             self._counts[row] = 0
             self._floor_pool.add(row)
 
-    def batch_horizon(self) -> int:
-        """``threshold - 1 - ceiling`` observations cannot trigger.
+    def observe_batch(self, rows) -> None:
+        """Bulk :meth:`observe` with the bucket index ops inlined.
 
-        The ceiling upper-bounds every estimate the summary can produce
-        (tracked counts, fresh insertions at ``spillover + 1``, and the
-        spillover itself), and one observation raises any of those by at
-        most one.
+        Bit-identical to calling :meth:`observe` per row: the same dict
+        and set operations run in the same order (including floor-pool
+        ``pop`` victim selection), only the method-call and bookkeeping
+        overhead is hoisted. The batched simulation engine commits every
+        fused span's activations through here, so the per-row cost is
+        hot-path cost. Rows that could trigger (a caller overran the
+        horizon) are delegated to :meth:`observe` so trigger bookkeeping
+        stays exactly the scalar path's.
         """
-        return max(0, self.threshold - 1 - max(self._ceiling, self.spillover + 1))
+        counts = self._counts
+        threshold = self.threshold
+        num_entries = self.num_entries
+        floor_pool = self._floor_pool
+        rows_at = self._rows_at_count
+        spillover = self.spillover
+        seen = 0
+        for row in rows:
+            old = counts.get(row)
+            if old is not None:
+                count = old + 1
+                if count >= threshold:
+                    self.observations += seen
+                    seen = 0
+                    self.observe(row)
+                    spillover = self.spillover
+                    continue
+                # _bucket_remove(row, old), inlined.
+                if row in floor_pool:
+                    floor_pool.discard(row)
+                else:
+                    bucket = rows_at.get(old)
+                    bucket.discard(row)
+                    if not bucket:
+                        del rows_at[old]
+                counts[row] = count
+            else:
+                if spillover + 1 >= threshold:
+                    self.observations += seen
+                    seen = 0
+                    self.observe(row)
+                    spillover = self.spillover
+                    continue
+                if len(counts) < num_entries:
+                    count = spillover + 1
+                elif floor_pool:
+                    victim = floor_pool.pop()
+                    del counts[victim]
+                    count = spillover + 1
+                else:
+                    # _raise_spillover, inlined (estimate = new spillover,
+                    # below threshold per the guard above; no bucket entry).
+                    spillover += 1
+                    self.spillover = spillover
+                    self.spillover_increments += 1
+                    newly_at_floor = rows_at.pop(spillover, None)
+                    if newly_at_floor:
+                        floor_pool |= newly_at_floor
+                    seen += 1
+                    continue
+                counts[row] = count
+            # _bucket_add(row, count), inlined.
+            if count <= spillover:
+                floor_pool.add(row)
+            else:
+                bucket = rows_at.get(count)
+                if bucket is None:
+                    rows_at[count] = {row}
+                else:
+                    bucket.add(row)
+            seen += 1
+        self.observations += seen
+
+    def batch_horizon(self) -> int:
+        """``threshold - 1 - M`` observations cannot trigger, where ``M``
+        upper-bounds every estimate the summary can currently produce.
+
+        ``M = max(highest occupied bucket, spillover + 1)``: a tracked
+        increment yields at most ``bucket_max + 1`` (floor-pool rows sit
+        at or below the spillover), an insertion or eviction-replacement
+        yields ``spillover + 1``, and a spillover raise yields the new
+        spillover — each observation also raises ``M`` itself by at most
+        one, so the bound telescopes across the whole horizon. Unlike a
+        monotone ceiling, ``M`` *drops* when a trigger resets the
+        hottest row (its bucket empties), so swap designs regain a
+        positive horizon right after each swap instead of losing the
+        fast path for the rest of the window. The bucket index holds at
+        most ``threshold`` distinct counts, so the max is O(TS).
+        """
+        top = self.spillover + 1
+        if self._rows_at_count:
+            bucket_max = max(self._rows_at_count)
+            if bucket_max > top:
+                top = bucket_max
+        return max(0, self.threshold - 1 - top)
+
+    def row_headroom(self, row: int) -> int:
+        """Observations of ``row`` alone that cannot trigger.
+
+        A row's estimate basis is its tracked count, or the spillover
+        when untracked — and eviction can only *reset* a tracked row to
+        the untracked basis, so ``max(count, spillover)`` covers both
+        fates. Each observation of the row then raises its estimate by
+        exactly one as long as the spillover floor itself does not move,
+        which :meth:`batch_slack` guarantees (the floor rises only when
+        the table is full with no entry at the floor).
+        """
+        basis = self._counts.get(row, self.spillover)
+        if basis < self.spillover:
+            basis = self.spillover
+        return max(0, self.threshold - 1 - basis)
+
+    def batch_slack(self) -> int:
+        """Observations before a spillover raise becomes possible.
+
+        A raise needs a full table with an empty floor pool; every
+        observation consumes at most one unit of that distance (an
+        insertion takes a free entry or pops a floor victim, an
+        increment can lift a row off the floor), so ``free entries +
+        floor-pool size`` bounds the safe budget.
+        """
+        return self.num_entries - len(self._counts) + len(self._floor_pool)
 
     def end_window(self) -> None:
         self._counts.clear()
         self._floor_pool.clear()
         self._rows_at_count.clear()
         self.spillover = 0
-        self._ceiling = 0
 
     @property
     def occupancy(self) -> float:

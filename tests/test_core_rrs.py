@@ -158,3 +158,67 @@ class TestNoUnswapAblation:
         engine.end_window(1_000_000.0)
         for row in range(100):
             assert engine.resolve(row) == row
+
+
+class TestBatchingContract:
+    """The horizon/headroom guarantees the batched engine relies on:
+    a scalar replay of any span the contract admits performs zero
+    swaps (soundness), and one access past the bound does swap
+    (the bound is not trivially loose)."""
+
+    def test_horizon_delegates_to_tracker(self, engine):
+        hammer(engine, 7, 12)
+        assert engine.batch_horizon() == engine.tracker.batch_horizon()
+        assert engine.row_headroom(7) == engine.tracker.row_headroom(7)
+        assert engine.batch_slack() == engine.tracker.batch_slack()
+
+    def test_horizon_replay_performs_no_swap(self, engine):
+        hammer(engine, 7, 30)
+        horizon = engine.batch_horizon()
+        assert horizon == 50 - 1 - 30
+        # Worst case within the horizon: every access lands on the
+        # hottest row — still no trigger.
+        hammer(engine, 7, horizon, start=engine.bank.busy_until)
+        assert engine.stats.swaps == 0
+        hammer(engine, 7, 1, start=engine.bank.busy_until)
+        assert engine.stats.swaps == 1
+
+    def test_row_headroom_replay_performs_no_swap(self, engine):
+        hammer(engine, 3, 10)
+        headroom = engine.row_headroom(3)
+        assert headroom == 50 - 1 - 10
+        hammer(engine, 3, headroom, start=engine.bank.busy_until)
+        assert engine.stats.swaps == 0
+        assert engine.row_headroom(3) == 0
+        hammer(engine, 3, 1, start=engine.bank.busy_until)
+        assert engine.stats.swaps == 1
+
+    def test_replay_leaves_tracker_state_identical(self, engine, small_bank, rng):
+        # Committing a horizon-length span via observe_batch must leave
+        # the tracker exactly as sequential observation would.
+        import random as _random
+
+        twin = RandomizedRowSwap(
+            Bank(4096, small_bank.timing), ExactTracker(50),
+            _random.Random(0xDECAF),
+        )
+        rows = [rng.randrange(40) for _ in range(200)]
+        position = 0
+        while position < len(rows):
+            span = max(1, engine.batch_horizon())
+            chunk = rows[position:position + span]
+            engine.observe_batch(chunk)
+            for row in chunk:
+                twin.tracker.observe(row)
+            position += span
+        for row in set(rows):
+            assert engine.tracker.count(row) == twin.tracker.count(row)
+        assert engine.tracker.triggers == twin.tracker.triggers
+
+    def test_resolve_map_is_the_live_rit_view(self, engine):
+        view = engine.resolve_map()
+        assert view.get(7, 7) == 7
+        hammer(engine, 7, 50)
+        # The swap mutated the mapping in place: same object, new entry.
+        assert view is engine.resolve_map()
+        assert view.get(7, 7) == engine.resolve(7) != 7

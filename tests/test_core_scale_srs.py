@@ -113,3 +113,32 @@ class TestSharedPinBuffer:
         assert len(shared) == 2
         assert shared.is_pinned((0, 0, 0), 9)
         assert shared.is_pinned((0, 0, 1), 9)
+
+
+class TestBatchingContract:
+    """Scale-SRS adds LLC pins to the contract: the pinned-row view
+    handed to the batched engine must be the live set behind
+    `is_pinned`, so pins taken on the full path are honoured by the
+    very next fused access."""
+
+    def test_pinned_view_is_live(self, engine):
+        view = engine.batch_pinned_view()
+        assert view == set()
+        for _ in range(2):
+            engine.counters.read_and_update(7, 50)
+        hammer(engine, 7, 50)
+        assert engine.is_pinned(7)
+        assert 7 in view
+        assert view is engine.batch_pinned_view()
+        engine.end_window(1_000_000.0)
+        assert 7 not in view
+
+    def test_horizon_replay_performs_no_pin_or_swap(self, engine):
+        hammer(engine, 7, 30)
+        horizon = engine.batch_horizon()
+        assert horizon == 50 - 1 - 30
+        hammer(engine, 7, horizon, start=engine.bank.busy_until)
+        assert engine.stats.swaps == 0
+        assert engine.stats.pins == 0
+        hammer(engine, 7, 1, start=engine.bank.busy_until)
+        assert engine.stats.swaps + engine.stats.pins == 1

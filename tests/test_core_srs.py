@@ -123,3 +123,42 @@ class TestWindowBoundary:
         engine.counters.read_and_update(5, 50)
         engine.end_window(1_000_000.0)
         assert engine.counters.peek(5) == 0
+
+
+class TestBatchingContract:
+    """Horizon soundness plus the SRS-specific quiet instant: `tick`
+    must be a strict no-op for any time before `batch_quiet_until`."""
+
+    def test_horizon_replay_performs_no_swap(self, engine):
+        hammer(engine, 7, 30)
+        horizon = engine.batch_horizon()
+        assert horizon == 50 - 1 - 30
+        hammer(engine, 7, horizon, start=engine.bank.busy_until)
+        assert engine.stats.swaps == 0
+        hammer(engine, 7, 1, start=engine.bank.busy_until)
+        assert engine.stats.swaps == 1
+
+    def test_row_headroom_replay_performs_no_swap(self, engine):
+        hammer(engine, 3, 10)
+        headroom = engine.row_headroom(3)
+        hammer(engine, 3, headroom, start=engine.bank.busy_until)
+        assert engine.stats.swaps == 0
+        hammer(engine, 3, 1, start=engine.bank.busy_until)
+        assert engine.stats.swaps == 1
+
+    def test_quiet_until_infinite_without_placebacks(self, engine):
+        assert engine.batch_quiet_until() == float("inf")
+
+    def test_quiet_until_tracks_the_placeback_schedule(self, engine):
+        hammer(engine, 7, 50)  # one swap -> one stale entry next epoch
+        engine.end_window(1_000_000.0)
+        quiet = engine.batch_quiet_until()
+        assert quiet == engine._next_placeback
+        assert quiet < float("inf")
+        # Strictly before the quiet instant, tick performs nothing.
+        engine.tick(quiet - 1.0)
+        assert engine.stats.place_backs == 0
+        assert engine.batch_quiet_until() == quiet
+        # At the instant itself, the place-back runs.
+        engine.tick(quiet)
+        assert engine.stats.place_backs == 1

@@ -162,17 +162,23 @@ class TestSpanCuts:
             + engine.counters["scalar_accesses"]
         )
 
-    def test_pinned_rows_disable_fast_path(self):
-        # Scale-SRS pins hammered rows into the LLC; it declares no
-        # batch horizon, so every access must take the scalar step.
+    def test_pinned_rows_fuse_as_llc_hits(self):
+        # Scale-SRS pins hammered rows into the LLC. The fused loop
+        # checks the live pinned-row view per access, so accesses to a
+        # pinned row are absorbed *inside* the span (counted by
+        # ``pinned_fast_hits``) instead of forcing the scalar path.
         workload = ArrayWorkload("hammer", [hammer_trace(6000, [5, 9])])
         params = replace(BASE, num_cores=1, trh=100)
         scalar, batched, engine = run_both(workload, "scale-srs", params)
         assert comparable(scalar) == comparable(batched)
         assert scalar.pins > 0, "scenario must actually pin rows"
         assert scalar.llc_pin_hits > 0
-        assert engine.counters["fast_accesses"] == 0
-        assert engine.counters["scalar_accesses"] == scalar.total_memory_accesses
+        assert engine.counters["pinned_fast_hits"] > 0
+        assert engine.counters["fast_accesses"] > 0
+        assert scalar.total_memory_accesses == (
+            engine.counters["fast_accesses"]
+            + engine.counters["scalar_accesses"]
+        )
 
     def test_baseline_runs_fused(self):
         _, _, engine = run_both("povray", "baseline", BASE)
@@ -203,10 +209,12 @@ class TestSpanCuts:
     @pytest.mark.parametrize("tracker", ["exact", "misra-gries"])
     def test_tracker_delegated_batching_end_to_end(self, tracker):
         # Register a test-only design that is both tracked and
-        # batchable — the first integration consumer of the deferred
-        # observe_batch commit and of fused re-entry after window rolls
-        # (tracker ceilings saturate, the driver drops to the scalar
-        # stretch, the next window roll resets them, fusing resumes).
+        # batchable — an integration consumer of the deferred
+        # observe_batch commit. Tracker ceilings saturate mid-window,
+        # but the per-row rescue (row_headroom under batch_slack) keeps
+        # the fused loop alive: saturated accesses go scoped one by
+        # one, window rolls reset the ceilings, and fusing resumes
+        # without ever dropping back to the driver.
         from repro.core.mitigation import BaselineMitigation
         from repro.registry import MITIGATIONS, register_mitigation
 
@@ -226,11 +234,49 @@ class TestSpanCuts:
             assert comparable(scalar) == comparable(batched)
             assert engine.counters["fast_accesses"] > 0
             assert engine.counters["scalar_accesses"] > 0
-            # Ceilings saturated at least once, and window rolls
-            # re-admitted the fused loop afterwards.
-            assert engine.counters["fused_entries"] > 1
+            assert engine.counters["window_rolls"] > 0
+            # Deferred observations were committed with span proofs,
+            # and horizon state was recomputed along the way.
+            assert engine.counters["span_checks"] > 0
+            assert engine.counters["horizon_refreshes"] > 0
+            # The per-row rescue keeps the loop fused end to end.
+            assert engine.counters["fused_entries"] == 1
         finally:
             MITIGATIONS.remove(name)
+
+    def test_swap_cells_stay_mostly_fused(self):
+        # The point of the batched swap path: a cell that actually
+        # swaps must still fuse the majority of its accesses, with the
+        # triggering accesses serviced scoped (single-bank write-back)
+        # rather than by abandoning the fused loop.
+        params = replace(BASE, tracker="exact")
+        scalar, batched, engine = run_both("gcc", "rrs", params)
+        assert comparable(scalar) == comparable(batched)
+        assert scalar.swaps > 0, "scenario must actually swap"
+        assert engine.counters["fast_accesses"] > (
+            engine.counters["scalar_accesses"]
+        )
+        assert engine.counters["span_checks"] > 0
+
+    def test_stale_horizon_recomputed_after_every_scoped_access(self):
+        # Regression: a swap resets tracker state, so a horizon value
+        # computed *before* a scoped excursion must never survive it —
+        # the engine recomputes horizon/slack/quiet on every re-hoist.
+        # A single-bank hammer maximises triggers per window, so a
+        # stale horizon would admit over-threshold ACTs and break
+        # bit-identity (or trip the engine's trigger assertion).
+        workload = ArrayWorkload(
+            "hammer", [hammer_trace(8000, [3, 7, 11, 13])]
+        )
+        params = replace(BASE, num_cores=1, trh=120, tracker="exact")
+        scalar, batched, engine = run_both(workload, "rrs", params)
+        assert comparable(scalar) == comparable(batched)
+        assert scalar.swaps > 0, "scenario must actually swap"
+        assert engine.counters["fast_accesses"] > 0
+        assert engine.counters["scoped_accesses"] > 0
+        assert engine.counters["horizon_refreshes"] >= (
+            engine.counters["scoped_accesses"]
+        )
 
     def test_engine_grid_axis_dedups_baseline(self):
         # Engines are bit-identical, so an engine sweep must not
@@ -269,9 +315,19 @@ class TestEngineSelection:
     def test_auto_picks_batched_for_baseline(self):
         assert resolve_engine_name("auto", "baseline", "misra-gries") == "batched"
 
-    def test_auto_picks_scalar_for_swap_designs(self):
+    def test_auto_picks_batched_for_swap_designs(self):
+        for mitigation in ("rrs", "rrs-no-unswap", "srs", "scale-srs"):
+            for tracker in ("misra-gries", "exact"):
+                assert (
+                    resolve_engine_name("auto", mitigation, tracker)
+                    == "batched"
+                )
+
+    def test_auto_picks_scalar_for_hydra_tracked_cells(self):
+        # Hydra declares no batchability (any observation can miss the
+        # counter cache and cost DRAM time), so auto stays scalar there.
         for mitigation in ("rrs", "srs", "scale-srs"):
-            assert resolve_engine_name("auto", mitigation, "misra-gries") == "scalar"
+            assert resolve_engine_name("auto", mitigation, "hydra") == "scalar"
 
     def test_explicit_names_pass_through(self):
         assert resolve_engine_name("scalar", "baseline", "exact") == "scalar"
@@ -283,7 +339,8 @@ class TestEngineSelection:
 
     def test_make_engine_builds_the_resolved_engine(self):
         assert isinstance(make_engine("auto", "baseline", "exact"), BatchedEngine)
-        assert isinstance(make_engine("auto", "rrs", "exact"), ScalarEngine)
+        assert isinstance(make_engine("auto", "rrs", "exact"), BatchedEngine)
+        assert isinstance(make_engine("auto", "rrs", "hydra"), ScalarEngine)
         assert "scalar" in ENGINE_NAMES and "batched" in ENGINE_NAMES
 
     def test_env_var_sets_default(self, monkeypatch):
