@@ -36,6 +36,9 @@ cell, ``--resume`` reuses stored cells bit-identically (rerun a killed
 grid and only the missing cells execute), and ``--shard i/n`` runs one
 digest-stable slice of the grid — ``n`` such runs against a shared
 store cover the grid exactly once (see :mod:`repro.sim.store`).
+``grid --hosts user@h1,user@h2`` fans those shards out over plain
+``ssh`` and merges the remote stores back into ``--store``
+(see :mod:`repro.sim.pool`).
 
 ``report`` sits on top of the same engine: every registered figure
 (:mod:`repro.report`) resolves its grids against ``--store`` and only
@@ -48,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import shlex
 import sys
 from typing import List, Optional
 
@@ -61,7 +65,9 @@ from repro.sim import (
     ResultSet,
     SecurityParams,
     SimulationParams,
+    SshPool,
     StorageParams,
+    parse_hosts,
     parse_shard,
     record_workload,
     run_grid,
@@ -119,6 +125,7 @@ def _run_eval(
     args: argparse.Namespace,
     progress=None,
     default_jobs: Optional[int] = None,
+    pool=None,
 ) -> ResultSet:
     """Run a spec through the engine with the shared store/shard flags.
 
@@ -126,6 +133,7 @@ def _run_eval(
     given: the analytical commands pass ``1`` so microsecond-scale cells
     (storage, power, analytical-only attack) are not taxed with process
     startup; grids and Monte-Carlo studies keep the CPU-count default.
+    ``pool`` overrides the execution backend (``--hosts``).
     """
     if getattr(args, "resume", False) and not getattr(args, "store", None):
         raise SystemExit("--resume needs --store")
@@ -137,6 +145,7 @@ def _run_eval(
         store=getattr(args, "store", None),
         reuse=bool(getattr(args, "resume", False)),
         shard=getattr(args, "shard", None),
+        pool=pool,
     )
 
 
@@ -145,6 +154,14 @@ def _report_store(results: ResultSet, args: argparse.Namespace) -> None:
     stats = results.run_stats
     if stats is None or not getattr(args, "store", None):
         return
+    if stats.hosts:
+        for host in stats.hosts:
+            shards = ",".join(str(s) for s in host.shards) or "-"
+            state = "ok" if host.ok else "died"
+            print(
+                f"host {host.label}: executed {host.executed}, reused "
+                f"{host.reused} (shards {shards}, {state})"
+            )
     shard = f", shard {stats.shard[0]}/{stats.shard[1]}" if stats.shard else ""
     print(
         f"store: executed {stats.executed}, reused {stats.reused} of "
@@ -175,13 +192,34 @@ def _shard_type(text: str):
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: a strictly positive worker count.
+
+    ``0`` and negatives used to be silently clamped to serial execution
+    deep in the engine; rejecting them here tells the user what the
+    flag actually does."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"{value} is not a positive worker count "
+            "(use 1 for serial execution)"
+        )
+    return value
+
+
 def _add_eval_options(
     parser: argparse.ArgumentParser, jobs: bool = True, export: bool = True
 ) -> None:
     """Engine-backed command knobs: parallelism, export, persistence."""
     if jobs:
-        parser.add_argument("--jobs", type=int, default=None,
-                            help="worker processes (default: CPU count)")
+        parser.add_argument("--jobs", type=_positive_int, default=None,
+                            help="worker processes "
+                                 "(default: available CPU count)")
     if export:
         parser.add_argument("--csv", help="export the result set as CSV")
         parser.add_argument(
@@ -230,6 +268,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _grid_remote_argv(args: argparse.Namespace, remote_store: str) -> List[str]:
+    """The ``repro grid`` command each ``--hosts`` worker replays.
+
+    Reproduces the coordinator's grid flags (so every host plans the
+    identical grid) against the remote store, always with ``--resume``
+    (reassigned shards skip what the dead host completed); the per-host
+    ``--shard i/N`` is appended by the pool."""
+    argv = [
+        sys.executable, "-m", "repro", "grid",
+        "--workloads", *args.workloads,
+        "--trh", *[str(trh) for trh in args.trh],
+        "--mitigations", *args.mitigations,
+        "--cores", str(args.cores),
+        "--requests", str(args.requests),
+        "--time-scale", str(args.time_scale),
+        "--tracker", args.tracker,
+        "--engine", args.engine,
+        "--store", remote_store,
+        "--resume",
+    ]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.verbose:
+        argv.append("--verbose")
+    return argv
+
+
+def _grid_pool(args: argparse.Namespace) -> Optional[SshPool]:
+    """The ``--hosts`` execution backend, or ``None`` for local runs."""
+    if not args.hosts:
+        return None
+    if args.shard:
+        raise SystemExit("--hosts drives sharding itself; drop --shard")
+    if not args.store:
+        raise SystemExit(
+            "--hosts needs --store (remote results are collected "
+            "through the result store)"
+        )
+    try:
+        hosts = parse_hosts(args.hosts)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"--hosts: {error}")
+    remote_store = args.remote_store or args.store
+    return SshPool(
+        hosts,
+        _grid_remote_argv(args, remote_store),
+        remote_store,
+        ssh=shlex.split(args.ssh) if args.ssh else None,
+    )
+
+
 def _cmd_grid(args: argparse.Namespace) -> int:
     spec = ExperimentSpec(
         workloads=list(args.workloads),
@@ -241,7 +330,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         if args.verbose:
             print(f"[{done}/{total}] {result.summary()}")
 
-    results = _run_eval(spec, args, progress)
+    results = _run_eval(spec, args, progress, pool=_grid_pool(args))
     if args.shard:
         # A shard holds an arbitrary slice of the grid (its baselines
         # may live in other shards), so print raw cell summaries; the
@@ -583,8 +672,8 @@ def _add_sim_options(
         help="simulation engine; engines are bit-identical, 'auto' "
              "batches where the mitigation supports it",
     )
-    parser.add_argument("--jobs", type=int, default=None,
-                        help="worker processes (default: CPU count)")
+    parser.add_argument("--jobs", type=_positive_int, default=None,
+                        help="worker processes (default: available CPU count)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -632,6 +721,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", help="export the result set as CSV")
     p.add_argument("--json", help="export the result set (with parameters) as JSON")
     p.add_argument("--verbose", action="store_true", help="per-cell progress")
+    p.add_argument("--hosts", metavar="HOSTS",
+                   help="fan the grid out over ssh hosts: a comma-separated "
+                        "user@host list, or @FILE with one host per line "
+                        "(needs --store; drives sharding itself)")
+    p.add_argument("--remote-store", metavar="DIR",
+                   help="store directory on the remote hosts (default: the "
+                        "--store path — right for shared filesystems and "
+                        "localhost workers)")
+    p.add_argument("--ssh", metavar="CMD",
+                   default=os.environ.get("REPRO_SSH"),
+                   help="ssh command reaching the hosts (default: 'ssh -o "
+                        "BatchMode=yes', or $REPRO_SSH; point it at a shim "
+                        "for tests)")
     _add_sim_options(p, mitigation_names, tracker_names, ["rrs", "scale-srs"],
                      default_requests=12_000)
     _add_eval_options(p, jobs=False, export=False)
@@ -722,8 +824,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: 4 or REPRO_BENCH_CORES)")
     p.add_argument("--full", action="store_true",
                    help="per-workload figures over all 78 workloads")
-    p.add_argument("--jobs", type=int, default=None,
-                   help="worker processes (default: CPU count)")
+    p.add_argument("--jobs", type=_positive_int, default=None,
+                   help="worker processes (default: available CPU count)")
     p.add_argument("--store", metavar="DIR",
                    help="resolve figures against this result store "
                         "(only missing cells execute)")

@@ -18,7 +18,10 @@ Resolution composes with everything the engine already does:
   reproduction with no coordination (rendering needs the full grid,
   so shard runs skip the analytic hook and artifacts — a final
   unsharded pass reads everything back and emits them);
-- ``jobs`` fans cells out over the engine's process pool.
+- ``jobs`` fans cells out over the engine's process pool, and
+  ``pool`` swaps in any other execution backend — e.g. an
+  :class:`~repro.sim.pool.SshPool` spanning machines
+  (:mod:`repro.sim.pool`).
 """
 
 from __future__ import annotations
@@ -55,6 +58,7 @@ def resolve_figure(
     reuse: bool = True,
     shard: Optional[Tuple[int, int]] = None,
     progress: Optional[Callable[[int, int, object], None]] = None,
+    pool=None,
 ) -> FigureData:
     """Execute (only) the missing cells of a figure and collect its data.
 
@@ -63,11 +67,15 @@ def resolve_figure(
     computed ones are persisted the moment they complete. The returned
     :class:`FigureData` carries the merged result set, the analytic
     extras, and a summed :class:`~repro.sim.experiment.RunStats`
-    (``stats.executed == 0`` means the store served everything).
+    (``stats.executed == 0`` means the store served everything; the
+    per-host breakdown of a multi-host ``pool`` is not summed across
+    grids — read each grid's own stats for that).
 
     With ``shard`` the run covers one slice of each grid and skips the
     analytic hook (extras are cheap but per-process; the final
     unsharded pass recomputes them with the full grid in hand).
+    ``pool`` passes an explicit execution backend
+    (:class:`~repro.sim.pool.Pool`) to every grid.
     """
     if isinstance(store, str):
         store = ResultStore(store)
@@ -81,6 +89,7 @@ def resolve_figure(
             store=store,
             reuse=reuse,
             shard=shard,
+            pool=pool,
         )
         stats = results.run_stats
         planned += stats.planned
@@ -123,10 +132,12 @@ def reproduce_figure(
     config: Optional[ReportConfig] = None,
     store: Optional[Union[str, ResultStore]] = None,
     jobs: Optional[int] = None,
+    pool=None,
 ) -> Tuple[FigureData, Artifact]:
     """Build, resolve, and render one figure — the one-call form the
     benchmark tier uses (``data`` for assertions, ``artifact`` for the
-    human-readable reproduction)."""
+    human-readable reproduction). ``pool`` forwards an execution
+    backend to the figure's grids."""
     info, spec = build_figure(name, config)
-    data = resolve_figure(spec, store=store, jobs=jobs)
+    data = resolve_figure(spec, store=store, jobs=jobs, pool=pool)
     return data, render_figure(info, spec, data)

@@ -22,6 +22,8 @@ runs the security and analytical evaluation legs through the same
 engine (:mod:`repro.sim.evaluations`), and ``run_grid(store=...)``
 persists completed cells in a content-addressed
 :class:`~repro.sim.store.ResultStore` for resumable, shardable grids.
+Execution backends (:mod:`repro.sim.pool`) scale the same grids from a
+single process to a multi-host ``ssh`` fan-out without changing specs.
 """
 
 from repro.sim.engine import (
@@ -42,7 +44,23 @@ from repro.sim.experiment import (
     resolve_workload,
     run_grid,
 )
-from repro.sim.store import ResultStore, cell_digest, parse_shard, shard_of
+from repro.sim.pool import (
+    HostStats,
+    Pool,
+    PoolTask,
+    ProcessPool,
+    SerialPool,
+    SshPool,
+    available_cpu_count,
+    parse_hosts,
+)
+from repro.sim.store import (
+    MergeStats,
+    ResultStore,
+    cell_digest,
+    parse_shard,
+    shard_of,
+)
 from repro.sim.evaluations import (
     PowerParams,
     PowerResult,
@@ -83,6 +101,15 @@ __all__ = [
     "plan_cells",
     "resolve_workload",
     "run_grid",
+    "Pool",
+    "PoolTask",
+    "HostStats",
+    "SerialPool",
+    "ProcessPool",
+    "SshPool",
+    "available_cpu_count",
+    "parse_hosts",
+    "MergeStats",
     "ResultStore",
     "cell_digest",
     "parse_shard",

@@ -43,10 +43,11 @@ and the engine takes care of the rest:
   exactly one baseline per unique combination instead of one per grid
   cell — a pure waste multiplier in the old
   ``compare_mitigations``-per-cell pattern.
-- **Parallel execution** fans cells out over a
-  :class:`~concurrent.futures.ProcessPoolExecutor`. Every cell carries
-  its full parameter record and seeds its own RNG streams, so results
-  are deterministic and independent of scheduling order.
+- **Pluggable execution** delegates the pending cells to an execution
+  backend (:mod:`repro.sim.pool`): serial in-process, a local process
+  pool, or an ``ssh`` fan-out across machines — every cell carries its
+  full parameter record and seeds its own RNG streams, so results are
+  deterministic and independent of scheduling order and backend.
 - **Persistence** (``run_grid(store=...)``): completed cells land in a
   content-addressed :class:`~repro.sim.store.ResultStore`, and already-
   stored cells are reused bit-identically — interrupted grids resume,
@@ -69,8 +70,6 @@ import csv
 import io
 import itertools
 import json
-import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, fields, replace
 from typing import (
     Any,
@@ -89,6 +88,14 @@ from repro.cpu.core import CoreResult
 from repro.dram.commands import PagePolicy
 from repro.registry import EVALUATIONS, MITIGATIONS
 from repro.sim.engine import ENGINE_NAMES
+from repro.sim.pool import (
+    HostStats,
+    Pool,
+    PoolTask,
+    ProcessPool,
+    SerialPool,
+    available_cpu_count,
+)
 from repro.sim.store import ResultStore, cell_digest, shard_of
 from repro.sim.results import (
     SimulationResult,
@@ -393,12 +400,16 @@ class RunStats:
         executed: Cells actually computed this run.
         reused: Cells served bit-identically from the result store.
         shard: The ``(index, count)`` shard this run covered, if any.
+        hosts: Per-host accounting when a multi-host backend ran the
+            grid (see :class:`~repro.sim.pool.HostStats`); ``None``
+            for single-machine runs.
     """
 
     planned: int
     executed: int
     reused: int
     shard: Optional[Tuple[int, int]] = None
+    hosts: Optional[Tuple[HostStats, ...]] = None
 
 
 def run_grid(
@@ -408,14 +419,17 @@ def run_grid(
     store: Optional[Union[str, ResultStore]] = None,
     reuse: bool = True,
     shard: Optional[Tuple[int, int]] = None,
+    pool: Optional[Pool] = None,
 ) -> "ResultSet":
     """Execute an experiment grid, in parallel when it pays.
 
     Args:
         spec: The experiment to run.
-        max_workers: Process count; ``None`` uses the machine's CPU
-            count (capped at the job count), ``1`` forces serial
-            in-process execution.
+        max_workers: Process count; ``None`` uses the CPUs actually
+            available to this process
+            (:func:`~repro.sim.pool.available_cpu_count`, capped at
+            the job count), ``1`` forces serial in-process execution.
+            Values below 1 raise :class:`ValueError`.
         progress: Optional ``(done, total, result)`` callback, invoked
             in plan order as results arrive (including reused ones).
         store: A :class:`~repro.sim.store.ResultStore` (or its
@@ -433,11 +447,22 @@ def run_grid(
             the same shared store cover every cell exactly once and can
             then be collected with a final ``--resume`` pass or
             :meth:`ResultSet.merge`.
+        pool: An explicit execution backend
+            (:class:`~repro.sim.pool.Pool`) — e.g. an
+            :class:`~repro.sim.pool.SshPool` spanning several machines.
+            ``None`` picks :class:`~repro.sim.pool.SerialPool` or
+            :class:`~repro.sim.pool.ProcessPool` from ``max_workers``.
 
     Results are deterministic: each cell derives every RNG stream from
     its own parameters, so scheduling order cannot leak into numbers.
-    The returned set carries a :class:`RunStats` in ``run_stats``.
+    Cell failures surface as :class:`RuntimeError` naming the failing
+    cell, identically on every backend. The returned set carries a
+    :class:`RunStats` in ``run_stats``.
     """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(
+            f"max_workers must be a positive integer, got {max_workers}"
+        )
     jobs = plan_cells(spec)
     if shard is not None:
         index, count = shard
@@ -468,10 +493,6 @@ def run_grid(
         if position not in cached
     ]
 
-    if max_workers is None:
-        max_workers = os.cpu_count() or 1
-    max_workers = max(1, min(max_workers, max(1, len(pending))))
-
     by_position: Dict[int, Any] = dict(cached)
     reported = 0
 
@@ -494,35 +515,17 @@ def run_grid(
         while reported in by_position:
             progress(reported + 1, len(jobs), by_position[reported])
             reported += 1
-    if max_workers == 1 or not pending:
-        for position, cell in pending:
-            record(position, _run_cell(cell))
-    else:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                pool.submit(_run_cell, cell): position
-                for position, cell in pending
-            }
-            failed: Optional[Tuple[int, Exception]] = None
-            for future in as_completed(futures):
-                position = futures[future]
-                try:
-                    result = future.result()
-                except Exception as error:
-                    # Keep draining: completed cells still reach the
-                    # store, so a --resume after the failure recomputes
-                    # only the failed cell, not everything in flight.
-                    if failed is None:
-                        failed = (position, error)
-                    continue
-                record(position, result)
-            if failed is not None:
-                position, error = failed
-                cell = jobs[position]
-                raise RuntimeError(
-                    f"cell ({cell.kind}, {cell.workload!r}, "
-                    f"{cell.mitigation!r}) failed: {error}"
-                ) from error
+    if pool is None:
+        workers = available_cpu_count() if max_workers is None else max_workers
+        workers = max(1, min(workers, max(1, len(pending))))
+        pool = SerialPool() if workers == 1 else ProcessPool(workers)
+    if pending:
+        pool.run(PoolTask(
+            pending=pending,
+            run_cell=_run_cell,
+            record=record,
+            store=store,
+        ))
 
     result_set = ResultSet([by_position[i] for i in range(len(jobs))])
     result_set.run_stats = RunStats(
@@ -530,6 +533,7 @@ def run_grid(
         executed=len(pending),
         reused=len(cached),
         shard=shard,
+        hosts=getattr(pool, "host_stats", None),
     )
     return result_set
 

@@ -162,6 +162,31 @@ def parse_shard(text: str) -> Tuple[int, int]:
 
 
 @dataclass
+class MergeStats:
+    """What one :meth:`ResultStore.merge_from` pass did.
+
+    ``adopted`` entries were copied in; ``present`` already existed in
+    the destination (first write wins — both sides computed the same
+    deterministic cell, so the bytes agree); ``unverified`` entries
+    failed digest verification (the payload's cell record does not hash
+    to the filename — renamed, tampered, or addressed under a workload
+    content fingerprint the payload cannot reproduce) and were left
+    behind; ``rejected`` entries were corrupt or stale (unreadable, an
+    unknown kind, or a schema-version mismatch).
+    """
+
+    adopted: int = 0
+    present: int = 0
+    unverified: int = 0
+    rejected: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total source entries examined."""
+        return self.adopted + self.present + self.unverified + self.rejected
+
+
+@dataclass
 class StoreInventory:
     """What a :meth:`ResultStore.inventory` scan found.
 
@@ -302,6 +327,92 @@ class ResultStore:
                 except FileNotFoundError:
                     pass  # concurrent prune; the entry is gone either way
         return removals
+
+    @staticmethod
+    def _record_digest(record: Dict[str, Any]) -> str:
+        """SHA-256 of a payload's ``cell`` record, store-canonicalized.
+
+        The store writes payloads with the fingerprint-free
+        :func:`cell_key` record inside, canonicalized exactly like
+        :func:`cell_digest`; a JSON round-trip preserves that encoding
+        bit-for-bit, so for fingerprint-free cells this digest equals
+        the entry's filename stem.
+        """
+        payload = json.dumps(
+            record, sort_keys=True, separators=(",", ":"), default=str
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def merge_from(self, source: str) -> MergeStats:
+        """Adopt another store directory's entries into this store.
+
+        The multi-host collection primitive: a coordinator merges each
+        worker's store after its shard completes. Adoption is per-cell
+        atomic (temp file + ``os.replace``, like :meth:`put`) and
+        idempotent — an entry this store already holds is left alone
+        (both sides computed the same deterministic cell), so merging
+        the same source twice, or two workers that shared a directory,
+        changes nothing.
+
+        Entries are **digest-verified** before adoption: the payload's
+        ``cell`` record must hash back to the filename stem, so a
+        renamed or tampered file from a remote host cannot poison the
+        coordinator's store. Trace-workload entries are addressed under
+        a local content fingerprint the payload cannot reproduce, so
+        they fail this check and are skipped (counted ``unverified``);
+        the coordinator recomputes those cells — a documented cost of
+        keeping collection verifiable. Corrupt or stale source entries
+        are skipped as ``rejected``. Merging a store into itself is a
+        no-op (everything counts as ``present``).
+        """
+        stats = MergeStats()
+        try:
+            same = os.path.samefile(source, self.path)
+        except OSError:
+            same = False
+        source_store = ResultStore(source)
+        for path in source_store._entry_files():
+            name = os.path.basename(path)
+            if same:
+                stats.present += 1
+                continue
+            destination = os.path.join(self.path, name)
+            if os.path.exists(destination):
+                stats.present += 1
+                continue
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    text = handle.read()
+                payload = json.loads(text)
+            except (OSError, ValueError):
+                stats.rejected += 1
+                continue
+            state, _ = self._classify_entry(path)
+            if state != "live":
+                stats.rejected += 1
+                continue
+            if self._record_digest(payload.get("cell", {})) != name[:-5]:
+                stats.unverified += 1
+                continue
+            handle = tempfile.NamedTemporaryFile(
+                "w",
+                encoding="utf-8",
+                dir=self.path,
+                suffix=".tmp",
+                delete=False,
+            )
+            try:
+                with handle:
+                    handle.write(text)
+                os.replace(handle.name, destination)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+            stats.adopted += 1
+        return stats
 
     def put(self, cell: Any, result: Any, digest: Optional[str] = None) -> str:
         """Persist ``cell``'s result atomically; returns the entry path.

@@ -73,6 +73,21 @@ class TestParser:
             args = parser.parse_args(["grid", "--tracker", name])
             assert args.tracker == name
 
+    def test_jobs_must_be_positive(self, capsys):
+        """--jobs 0 and negatives are rejected up front, not silently
+        clamped to serial execution deep in the engine."""
+        parser = build_parser()
+        for command in (
+            ["grid", "--jobs", "0"],
+            ["grid", "--jobs", "-2"],
+            ["attack", "--jobs", "0"],
+            ["report", "--jobs", "0"],
+        ):
+            with pytest.raises(SystemExit):
+                parser.parse_args(command)
+            assert "positive worker count" in capsys.readouterr().err
+        assert parser.parse_args(["grid", "--jobs", "1"]).jobs == 1
+
 
 class TestCommands:
     def test_list_workloads(self, capsys):
@@ -272,6 +287,57 @@ class TestCommands:
         from repro.sim import ResultSet
         reloaded = ResultSet.load(str(json_path))
         assert set(reloaded.workloads) == {"povray", "lbm"}
+
+
+class TestMultiHost:
+    """The --hosts flag: flag validation plus an end-to-end run over a
+    fake ssh shim (two localhost "hosts" sharing the store)."""
+
+    GRID = ["grid", "--workloads", "povray", "--trh", "1200", "--cores",
+            "1", "--requests", "800", "--mitigations", "rrs"]
+
+    def test_hosts_needs_store(self):
+        with pytest.raises(SystemExit, match="--hosts needs --store"):
+            main(self.GRID + ["--hosts", "h1,h2"])
+
+    def test_hosts_rejects_shard(self, tmp_path):
+        with pytest.raises(SystemExit, match="drop --shard"):
+            main(self.GRID + [
+                "--hosts", "h1,h2", "--shard", "0/2",
+                "--store", str(tmp_path / "s"),
+            ])
+
+    def test_hosts_rejects_empty_list(self, tmp_path):
+        with pytest.raises(SystemExit, match="--hosts"):
+            main(self.GRID + [
+                "--hosts", ",", "--store", str(tmp_path / "s"),
+            ])
+
+    def test_two_localhost_hosts_end_to_end(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """The CI smoke in miniature: a two-"host" localhost run fills
+        the store, then a plain --resume executes nothing."""
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(
+            repro.__file__)))
+        monkeypatch.setenv("PYTHONPATH", src)
+        shim = tmp_path / "fakessh"
+        shim.write_text('#!/bin/sh\nshift\nexec /bin/sh -c "$1"\n')
+        shim.chmod(0o755)
+        store = str(tmp_path / "store")
+        argv = self.GRID + ["--store", store]
+        assert main(argv + [
+            "--hosts", "localhost,localhost", "--ssh", str(shim),
+        ]) == 0
+        first = capsys.readouterr().out
+        assert "host localhost:" in first
+        assert "host localhost#2:" in first
+        assert "store: executed 2, reused 0 of 2 cells" in first
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "store: executed 0, reused 2 of 2 cells" in second
 
 
 class TestReportCommand:

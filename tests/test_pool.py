@@ -1,0 +1,381 @@
+"""Tests for the execution backends (:mod:`repro.sim.pool`).
+
+The SshPool tests use a fake ``ssh`` shim — a shell script that drops
+the host argument and runs the remote command locally — so multi-host
+orchestration (sharding, live streaming, host death, reassignment,
+store collection) is exercised end-to-end without real remote hosts.
+"""
+
+import dataclasses
+import os
+import sys
+import time
+from typing import ClassVar
+
+import pytest
+
+import repro
+from repro.registry import EVALUATIONS, register_evaluation
+from repro.sim import (
+    ExperimentSpec,
+    ProcessPool,
+    ResultStore,
+    SerialPool,
+    SimulationParams,
+    SshPool,
+    available_cpu_count,
+    parse_hosts,
+    run_grid,
+)
+from repro.sim.pool import remote_command
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+# A spec whose cells the CLI reproduces exactly with default tracker/
+# engine/seed flags — remote `repro grid` runs must plan identical cells
+# (identical digests) or the coordinator would never see their results.
+SPEC = ExperimentSpec(
+    workloads=["povray"],
+    mitigations=["rrs"],
+    base_params=SimulationParams(
+        trh=1200, num_cores=1, requests_per_core=800, time_scale=32
+    ),
+)
+
+GOOD_SSH = """#!/bin/sh
+# fake ssh: drop the host argument, run the command locally
+shift
+exec /bin/sh -c "$1"
+"""
+
+BAD_SSH = """#!/bin/sh
+# fake ssh where hosts named bad* are dead
+host="$1"; shift
+case "$host" in bad*) exit 17;; esac
+exec /bin/sh -c "$1"
+"""
+
+
+def write_shim(tmp_path, text):
+    path = tmp_path / "fakessh"
+    path.write_text(text)
+    path.chmod(0o755)
+    return str(path)
+
+
+def remote_argv(store_dir):
+    """The grid command a worker replays — mirrors _grid_remote_argv."""
+    return [
+        sys.executable, "-m", "repro", "grid",
+        "--workloads", "povray",
+        "--trh", "1200",
+        "--mitigations", "rrs",
+        "--cores", "1",
+        "--requests", "800",
+        "--jobs", "1",
+        "--store", str(store_dir),
+        "--resume",
+    ]
+
+
+def quiet(label, line):
+    """Echo sink that swallows worker output."""
+
+
+def ssh_pool(hosts, shim, store_dir, **kwargs):
+    return SshPool(
+        hosts, remote_argv(store_dir), str(store_dir), ssh=[shim],
+        echo=quiet, **kwargs,
+    )
+
+
+@pytest.fixture
+def remote_env(monkeypatch):
+    """Remote runs re-export PYTHONPATH; make it absolute for them."""
+    monkeypatch.setenv("PYTHONPATH", SRC_DIR)
+
+
+def entry_files(store_dir):
+    return sorted(
+        name for name in os.listdir(str(store_dir)) if name.endswith(".json")
+    )
+
+
+# Module-level (picklable) pieces for failure-path tests: a kind whose
+# "boom" subject raises, and one whose "boom" subject simulates Ctrl-C.
+@dataclasses.dataclass(frozen=True)
+class PoolParams:
+    trh: int = 0
+
+
+@dataclasses.dataclass
+class PoolResult:
+    kind: ClassVar[str] = "pool-kind"
+
+    workload: str
+    mitigation: str
+    trh: int
+    params: object = None
+
+
+def run_pool_cell(cell):
+    if cell.mitigation == "boom":
+        raise ValueError("pool boom")
+    return PoolResult(cell.workload, cell.mitigation, cell.params.trh,
+                      cell.params)
+
+
+def run_interrupt_cell(cell):
+    if cell.mitigation == "boom":
+        # Let the in-flight ok cells finish first, then simulate Ctrl-C
+        # reaching a worker process.
+        time.sleep(0.4)
+        raise KeyboardInterrupt
+    return PoolResult(cell.workload, cell.mitigation, cell.params.trh,
+                      cell.params)
+
+
+@pytest.fixture
+def flaky_kind():
+    register_evaluation(
+        "pool-kind",
+        params_cls=PoolParams,
+        result_cls=PoolResult,
+        subjects=("ok", "boom", "also-ok"),
+    )(run_pool_cell)
+    yield ExperimentSpec(
+        kind="pool-kind",
+        mitigations=["ok", "boom", "also-ok"],
+        base_params=PoolParams(),
+    )
+    EVALUATIONS.remove("pool-kind")
+
+
+@pytest.fixture
+def interrupt_kind():
+    register_evaluation(
+        "pool-interrupt",
+        params_cls=PoolParams,
+        result_cls=PoolResult,
+        subjects=("ok", "also-ok", "boom"),
+    )(run_interrupt_cell)
+    yield
+    EVALUATIONS.remove("pool-interrupt")
+
+
+class TestWorkerDefaults:
+    def test_available_cpu_count_respects_affinity(self):
+        if hasattr(os, "sched_getaffinity"):
+            assert available_cpu_count() == len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - non-Linux fallback
+            assert available_cpu_count() == (os.cpu_count() or 1)
+
+    def test_process_pool_defaults_to_available_cpus(self):
+        assert ProcessPool().max_workers == available_cpu_count()
+
+    def test_run_grid_rejects_non_positive_workers(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="positive"):
+                run_grid(SPEC, max_workers=bad)
+
+
+class TestFailurePaths:
+    def test_serial_and_parallel_wrap_failures_identically(
+        self, flaky_kind, tmp_path
+    ):
+        """A failing cell raises the same RuntimeError (naming the
+        cell) whether the backend was serial or a process pool."""
+        messages = {}
+        for label, workers in (("serial", 1), ("parallel", 2)):
+            with pytest.raises(RuntimeError) as info:
+                run_grid(flaky_kind, max_workers=workers,
+                         store=str(tmp_path / label))
+            messages[label] = str(info.value)
+            assert "pool-kind" in messages[label]
+            assert "'boom'" in messages[label]
+            assert "pool boom" in messages[label]
+        assert messages["serial"] == messages["parallel"]
+
+    def test_progress_prefix_stops_at_failure(self, flaky_kind, tmp_path):
+        """Mid-plan failure: progress reports the contiguous prefix up
+        to the failed cell only, while completed later cells still
+        reach the store."""
+        seen = []
+        store_dir = tmp_path / "store"
+        with pytest.raises(RuntimeError, match="pool boom"):
+            run_grid(
+                flaky_kind,
+                max_workers=2,
+                store=str(store_dir),
+                progress=lambda done, total, result: seen.append(
+                    (done, total)
+                ),
+            )
+        # Plan order is [ok, boom, also-ok]: only the first cell forms
+        # a completed prefix; also-ok completed but is never reported.
+        assert seen == [(1, 3)]
+        assert len(entry_files(store_dir)) == 2
+        # The resume recomputes exactly the failed cell.
+        ok_only = dataclasses.replace(
+            flaky_kind, mitigations=["ok", "also-ok"]
+        )
+        resumed = run_grid(ok_only, max_workers=1, store=str(store_dir))
+        assert resumed.run_stats.executed == 0
+
+    def test_interrupt_drains_completed_cells(self, interrupt_kind, tmp_path):
+        """Ctrl-C mid-grid: the pool cancels queued cells, keeps every
+        completed result, and re-raises — resume recomputes only the
+        genuinely unfinished cells."""
+        spec = ExperimentSpec(
+            kind="pool-interrupt",
+            mitigations=["ok", "also-ok", "boom"],
+            base_params=PoolParams(),
+        )
+        store_dir = tmp_path / "store"
+        with pytest.raises(KeyboardInterrupt):
+            run_grid(spec, max_workers=2, store=str(store_dir))
+        assert len(entry_files(store_dir)) == 2
+        ok_only = dataclasses.replace(spec, mitigations=["ok", "also-ok"])
+        resumed = run_grid(ok_only, max_workers=1, store=str(store_dir))
+        assert resumed.run_stats.executed == 0
+        assert resumed.run_stats.reused == 2
+
+    def test_interrupt_cancels_queued_cells(self, interrupt_kind, tmp_path):
+        """With one worker and the interrupting cell first, the queued
+        cells never launch (cancel_futures) and the store stays empty."""
+        spec = ExperimentSpec(
+            kind="pool-interrupt",
+            mitigations=["boom", "ok", "also-ok"],
+            base_params=PoolParams(),
+        )
+        store_dir = tmp_path / "store"
+        with pytest.raises(KeyboardInterrupt):
+            run_grid(spec, store=str(store_dir), pool=ProcessPool(1))
+        assert entry_files(store_dir) == []
+
+
+class TestHostParsing:
+    def test_comma_list(self):
+        assert parse_hosts("a@h1, b@h2,h3") == ["a@h1", "b@h2", "h3"]
+
+    def test_host_file(self, tmp_path):
+        hosts = tmp_path / "hosts"
+        hosts.write_text("# cluster\nuser@h1\n\nuser@h2\n")
+        assert parse_hosts(f"@{hosts}") == ["user@h1", "user@h2"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no hosts"):
+            parse_hosts(" , ")
+
+    def test_remote_command_quotes_and_reexports(self, monkeypatch):
+        monkeypatch.setenv("PYTHONPATH", "/some path/src")
+        command = remote_command(["python", "-m", "repro", "grid"],
+                                 cwd="/work dir")
+        assert command.startswith("cd '/work dir' && ")
+        assert "PYTHONPATH='/some path/src'" in command
+        assert command.endswith("python -m repro grid")
+
+
+class TestSshPool:
+    def test_two_localhost_hosts_cover_the_grid(
+        self, tmp_path, remote_env
+    ):
+        """The acceptance flow: two localhost "hosts" share a store;
+        the merged store serves a plain single-host resume with zero
+        executions, bit-identical to a single-host run."""
+        shim = write_shim(tmp_path, GOOD_SSH)
+        store_dir = tmp_path / "store"
+        pool = ssh_pool(["localhost", "localhost"], shim, store_dir)
+        results = run_grid(SPEC, store=str(store_dir), pool=pool)
+        stats = {h.label: h for h in results.run_stats.hosts}
+        assert set(stats) == {"localhost", "localhost#2"}
+        assert all(h.ok for h in stats.values())
+        assert sum(h.executed for h in stats.values()) == 2
+        assert sorted(s for h in stats.values() for s in h.shards) == [0, 1]
+        resumed = run_grid(SPEC, max_workers=1, store=str(store_dir))
+        assert resumed.run_stats.executed == 0
+        assert resumed.run_stats.reused == 2
+        assert resumed.to_json() == run_grid(SPEC, max_workers=1).to_json()
+
+    def test_dead_host_shard_reassigned_to_survivor(
+        self, tmp_path, remote_env
+    ):
+        shim = write_shim(tmp_path, BAD_SSH)
+        store_dir = tmp_path / "store"
+        pool = ssh_pool(["good", "bad"], shim, store_dir)
+        results = run_grid(SPEC, store=str(store_dir), pool=pool)
+        stats = {h.label: h for h in results.run_stats.hosts}
+        assert stats["bad"].ok is False
+        assert stats["good"].ok is True
+        # The survivor picked up the dead host's shard.
+        assert sorted(stats["good"].shards) == [0, 1]
+        assert len(results) == 2
+        assert results.to_json() == run_grid(SPEC, max_workers=1).to_json()
+
+    def test_dead_host_completed_cells_survive(self, tmp_path, remote_env):
+        """Cells a host completed before dying are collected from its
+        store and never recomputed: pre-populating the remote store
+        stands in for the dead host's partial progress."""
+        shim = write_shim(tmp_path, BAD_SSH)
+        remote_dir = tmp_path / "remote"
+        run_grid(SPEC, max_workers=1, store=str(remote_dir))
+        local_dir = tmp_path / "local"
+        pool = ssh_pool(["good", "bad"], shim, remote_dir)
+        results = run_grid(SPEC, store=str(local_dir), pool=pool)
+        stats = {h.label: h for h in results.run_stats.hosts}
+        assert stats["bad"].ok is False
+        # Nothing recomputed anywhere: every cell came from the store
+        # the "dead" host left behind.
+        assert sum(h.executed for h in stats.values()) == 0
+        assert stats["good"].reused == 2
+        assert entry_files(local_dir) == entry_files(remote_dir)
+        assert results.to_json() == run_grid(SPEC, max_workers=1).to_json()
+
+    def test_tar_collection_without_shared_fs(self, tmp_path, remote_env):
+        """shared_fs=False forces the tar-over-ssh collection path even
+        though the shim runs everything locally."""
+        shim = write_shim(tmp_path, GOOD_SSH)
+        remote_dir = tmp_path / "remote"
+        local_dir = tmp_path / "local"
+        pool = SshPool(
+            ["localhost"], remote_argv(remote_dir), str(remote_dir),
+            ssh=[shim], echo=quiet, shared_fs=False,
+        )
+        results = run_grid(SPEC, store=str(local_dir), pool=pool)
+        assert len(entry_files(local_dir)) == 2
+        assert results.to_json() == run_grid(SPEC, max_workers=1).to_json()
+
+    def test_all_hosts_dead_raises(self, tmp_path, remote_env):
+        shim = write_shim(tmp_path, BAD_SSH)
+        store_dir = tmp_path / "store"
+        pool = ssh_pool(["bad", "bad2"], shim, store_dir)
+        with pytest.raises(RuntimeError, match="no live host"):
+            run_grid(SPEC, store=str(store_dir), pool=pool)
+
+    def test_needs_a_store(self, tmp_path):
+        shim = write_shim(tmp_path, GOOD_SSH)
+        pool = ssh_pool(["localhost"], shim, tmp_path / "store")
+        with pytest.raises(ValueError, match="store"):
+            run_grid(SPEC, pool=pool)
+
+    def test_needs_hosts(self):
+        with pytest.raises(ValueError, match="at least one host"):
+            SshPool([], ["true"], "/tmp/none")
+
+
+class TestSerialPoolContract:
+    def test_serial_pool_runs_in_process(self, tmp_path, monkeypatch):
+        """SerialPool never forks: a monkeypatched cell runner is seen
+        by every cell (the property the test suite itself leans on)."""
+        import repro.sim.experiment as experiment
+
+        calls = []
+        original = experiment._run_cell
+
+        def counting(cell):
+            calls.append(cell.mitigation)
+            return original(cell)
+
+        monkeypatch.setattr(experiment, "_run_cell", counting)
+        results = run_grid(SPEC, store=str(tmp_path / "s"), pool=SerialPool())
+        assert len(calls) == len(results)

@@ -350,6 +350,91 @@ class TestResultStore:
         assert reused.to_json() == fresh.to_json()
 
 
+class TestMergeFrom:
+    """Digest-verified adoption of one store's entries into another —
+    the multi-host collection primitive."""
+
+    def fill_source(self, tmp_path):
+        source = tmp_path / "source"
+        run_grid(STORAGE, max_workers=1, store=str(source))
+        return source
+
+    def test_adopts_everything_and_is_idempotent(self, tmp_path):
+        source = self.fill_source(tmp_path)
+        dest = ResultStore(str(tmp_path / "dest"))
+        stats = dest.merge_from(str(source))
+        assert (stats.adopted, stats.present) == (6, 0)
+        assert (stats.unverified, stats.rejected) == (0, 0)
+        assert stats.total == 6
+        assert entry_files(tmp_path / "dest") == entry_files(source)
+        again = dest.merge_from(str(source))
+        assert (again.adopted, again.present) == (0, 6)
+        # Adopted entries serve resumes bit-identically.
+        direct = run_grid(STORAGE, max_workers=1)
+        resumed = run_grid(STORAGE, max_workers=1, store=dest)
+        assert resumed.run_stats.executed == 0
+        assert resumed.to_json() == direct.to_json()
+
+    def test_merge_into_itself_is_a_noop(self, tmp_path):
+        source = self.fill_source(tmp_path)
+        stats = ResultStore(str(source)).merge_from(str(source))
+        assert (stats.adopted, stats.present) == (0, 6)
+        assert len(entry_files(source)) == 6
+
+    def test_renamed_entry_is_not_adopted(self, tmp_path):
+        """An entry whose payload does not hash back to its filename
+        (renamed, tampered) must not poison the destination."""
+        source = self.fill_source(tmp_path)
+        victim = entry_files(source)[0]
+        bogus = "0" * 64 + ".json"
+        os.rename(str(source / victim), str(source / bogus))
+        dest = ResultStore(str(tmp_path / "dest"))
+        stats = dest.merge_from(str(source))
+        assert (stats.adopted, stats.unverified) == (5, 1)
+        assert bogus not in entry_files(tmp_path / "dest")
+
+    def test_corrupt_and_stale_entries_rejected(self, tmp_path):
+        source = self.fill_source(tmp_path)
+        names = entry_files(source)
+        with open(str(source / names[0]), "w", encoding="utf-8") as handle:
+            handle.write("{ truncated")
+        with open(str(source / names[1]), encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["schema_version"] = 999
+        with open(str(source / names[1]), "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        dest = ResultStore(str(tmp_path / "dest"))
+        stats = dest.merge_from(str(source))
+        assert (stats.adopted, stats.rejected) == (4, 2)
+
+    def test_fingerprinted_trace_entries_skip_verification(self, tmp_path):
+        """Trace cells are addressed under a local content fingerprint
+        the payload cannot reproduce, so collection skips them (the
+        coordinator recomputes) rather than adopt unverifiable data."""
+        from repro.sim import record_workload
+        from repro.sim.experiment import resolve_workload
+
+        out_dir = str(tmp_path / "rec")
+        record_workload(
+            resolve_workload("povray"),
+            SimulationParams(num_cores=1, requests_per_core=400, seed=3),
+            out_dir=out_dir,
+        )
+        spec = ExperimentSpec(
+            workloads=[f"trace:{out_dir}"],
+            mitigations=["rrs"],
+            base_params=dataclasses.replace(
+                PERF.base_params, requests_per_core=400
+            ),
+        )
+        source = tmp_path / "source"
+        run_grid(spec, max_workers=1, store=str(source))
+        dest = ResultStore(str(tmp_path / "dest"))
+        stats = dest.merge_from(str(source))
+        assert stats.adopted == 0
+        assert stats.unverified == len(entry_files(source))
+
+
 class TestInventoryAndPrune:
     """Store maintenance: classify every entry, delete the dead ones."""
 

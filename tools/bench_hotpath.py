@@ -39,6 +39,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.sim.experiment import resolve_workload  # noqa: E402
+from repro.sim.pool import available_cpu_count  # noqa: E402
 from repro.sim.simulator import (  # noqa: E402
     PerformanceSimulation,
     SimulationParams,
@@ -95,13 +96,21 @@ def bench_cell(
 
 
 def host_info() -> Dict[str, Any]:
-    """Host fingerprint for comparing benchmark points over time."""
+    """Host fingerprint for comparing benchmark points over time.
+
+    Records both the machine's CPU count and the count actually
+    available to this process (``sched_getaffinity`` — smaller under
+    cgroup/affinity limits, e.g. a 1-CPU CI container on a big host):
+    trajectory points are only comparable when the *available* counts
+    match.
+    """
     return {
         "platform": platform.platform(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "cpu_available": available_cpu_count(),
     }
 
 
