@@ -150,9 +150,19 @@ def _run_eval(
 
 
 def _report_store(results: ResultSet, args: argparse.Namespace) -> None:
-    """One-line store/shard accounting (greppable by CI's resume smoke)."""
+    """One-line store/shard accounting (greppable by CI's resume smoke).
+
+    Also prints the workload plane's greppable accounting line
+    (``workloads: generated N, attached M, decode hits K``) whenever
+    the plane served a single-machine run — store or not. Runs the
+    plane never touched (analytical kinds, plane off) stay silent.
+    """
     stats = results.run_stats
-    if stats is None or not getattr(args, "store", None):
+    if stats is None:
+        return
+    if stats.workloads:
+        print(stats.workloads.line)
+    if not getattr(args, "store", None):
         return
     if stats.hosts:
         for host in stats.hosts:

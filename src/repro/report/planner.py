@@ -81,6 +81,7 @@ def resolve_figure(
         store = ResultStore(store)
     sets: List[ResultSet] = []
     planned = executed = reused = 0
+    workloads = None
     for experiment in spec.specs:
         results = run_grid(
             experiment,
@@ -95,6 +96,11 @@ def resolve_figure(
         planned += stats.planned
         executed += stats.executed
         reused += stats.reused
+        if stats.workloads is not None:
+            workloads = (
+                stats.workloads if workloads is None
+                else workloads + stats.workloads
+            )
         sets.append(results)
     merged = sets[0].merge(*sets[1:]) if sets else ResultSet([])
     extras = {}
@@ -105,7 +111,8 @@ def resolve_figure(
         extras=extras,
         config=spec.config or ReportConfig(),
         stats=RunStats(
-            planned=planned, executed=executed, reused=reused, shard=shard
+            planned=planned, executed=executed, reused=reused, shard=shard,
+            workloads=workloads,
         ),
     )
 

@@ -171,9 +171,19 @@ class BatchedEngine(Engine):
         eligibility is re-evaluated there instead of being forfeited
         for the rest of the run.
         """
+        from repro.workloads import plane
+
         self.counters = {key: 0 for key in self.counters}
+        # The decoded-list product is immutable to the engine (the fused
+        # loop and scalar stretch only read it), so plane-materialized
+        # traces share one decode across the cells of a grid.
         decoded = [
-            _DecodedTrace(trace, core, memory)
+            plane.cached_decode(
+                plane.decode_token(trace, core, memory),
+                lambda trace=trace, core=core: _DecodedTrace(
+                    trace, core, memory
+                ),
+            )
             for trace, core in zip(traces, cores)
         ]
         heap = [(0.0, core_id) for core_id in range(len(cores))]

@@ -103,6 +103,7 @@ from repro.sim.results import (
     normalized_performance,
 )
 from repro.sim.simulator import PerformanceSimulation, SimulationParams
+from repro.workloads.plane import PlaneStats
 from repro.workloads.sources import resolve_workload_string
 from repro.workloads.suites import WorkloadSpec
 
@@ -403,6 +404,10 @@ class RunStats:
         hosts: Per-host accounting when a multi-host backend ran the
             grid (see :class:`~repro.sim.pool.HostStats`); ``None``
             for single-machine runs.
+        workloads: Workload-plane accounting
+            (:class:`~repro.workloads.plane.PlaneStats`: generated /
+            attached / cache hits) when a single-machine backend ran
+            with the plane enabled; ``None`` otherwise.
     """
 
     planned: int
@@ -410,6 +415,7 @@ class RunStats:
     reused: int
     shard: Optional[Tuple[int, int]] = None
     hosts: Optional[Tuple[HostStats, ...]] = None
+    workloads: Optional[PlaneStats] = None
 
 
 def run_grid(
@@ -534,6 +540,7 @@ def run_grid(
         reused=len(cached),
         shard=shard,
         hosts=getattr(pool, "host_stats", None),
+        workloads=getattr(pool, "plane_stats", None),
     )
     return result_set
 

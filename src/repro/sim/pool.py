@@ -47,6 +47,23 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.store import MergeStats, ResultStore
+from repro.workloads import plane
+
+
+def _run_cell_with_plane(
+    run_cell: Callable[[Any], Any], cell: Any, ref: Any
+) -> Any:
+    """Worker-side cell runner: register a published workload, then run.
+
+    The coordinator submits this wrapper (instead of ``run_cell``
+    directly) for cells whose workload it published to shared memory;
+    :func:`repro.workloads.plane.offer` makes the segment visible to the
+    worker's plane, so its ``traces_for`` attaches instead of
+    regenerating. Runs in the pool worker process.
+    """
+    if ref is not None:
+        plane.offer(ref)
+    return run_cell(cell)
 
 
 def available_cpu_count() -> int:
@@ -150,6 +167,13 @@ class Pool:
     #: :class:`~repro.sim.experiment.RunStats`.
     host_stats: Optional[Tuple[HostStats, ...]] = None
 
+    #: Workload-plane accounting of the run, populated by the
+    #: single-machine backends after :meth:`run` (``None`` with the
+    #: plane disabled, and for multi-host backends — each remote run
+    #: reports its own plane line); rolled into
+    #: :class:`~repro.sim.experiment.RunStats`.
+    plane_stats: Optional[plane.PlaneStats] = None
+
     def run(self, task: PoolTask) -> None:
         """Execute every pending cell of ``task`` (see :class:`PoolTask`)."""
         raise NotImplementedError
@@ -167,13 +191,25 @@ class SerialPool(Pool):
     name = "serial"
 
     def run(self, task: PoolTask) -> None:
-        """Run cells in plan order; stop at the first failure."""
-        for position, cell in task.pending:
-            try:
-                result = task.run_cell(cell)
-            except Exception as error:
-                raise wrap_cell_error(cell, error) from error
-            task.record(position, result)
+        """Run cells in plan order; stop at the first failure.
+
+        Cells share this process's workload plane, so consecutive cells
+        over one workload hit its trace/decode caches; the run's plane
+        delta lands in :attr:`Pool.plane_stats` (even on failure — the
+        completed prefix did the caching).
+        """
+        enabled = plane.plane_enabled()
+        before = plane.local_stats()
+        try:
+            for position, cell in task.pending:
+                try:
+                    result = task.run_cell(cell)
+                except Exception as error:
+                    raise wrap_cell_error(cell, error) from error
+                task.record(position, result)
+        finally:
+            if enabled:
+                self.plane_stats = plane.local_stats() - before
 
 
 class ProcessPool(Pool):
@@ -201,32 +237,78 @@ class ProcessPool(Pool):
         self.max_workers = max_workers or available_cpu_count()
 
     def run(self, task: PoolTask) -> None:
-        """Fan the pending cells out; record results as they complete."""
-        executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        """Fan the pending cells out; record results as they complete.
+
+        With the workload plane enabled the coordinator additionally
+        (1) publishes each distinct multi-cell workload to shared
+        memory so workers attach instead of regenerating, (2) submits
+        cells in cache-affinity order (grouped by workload key, largest
+        expected cost first within a group — recording stays plan-order
+        regardless, so progress and the store are unaffected), and
+        (3) collects worker-side plane counters into
+        :attr:`Pool.plane_stats`. Shared-memory segments are unlinked
+        on *every* exit path — success, cell failure, and the interrupt
+        drain — in the ``finally`` below.
+        """
+        enabled = plane.plane_enabled()
+        publisher = None
+        counters = None
+        before = plane.local_stats()
+        if enabled:
+            keyed = plane.keyed_pending(task.pending)
+            publisher = plane.PlanePublisher()
+            publisher.publish(keyed)
+            counters = plane.make_shared_counters()
+            executor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=plane.init_worker,
+                initargs=(counters,),
+            )
+            submits = [
+                (position, cell, publisher.refs.get(key))
+                for position, cell, key in plane.affinity_order(keyed)
+            ]
+        else:
+            executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            submits = [(position, cell, None) for position, cell in task.pending]
         futures: Dict[Any, Tuple[int, Any]] = {}
         failed: Optional[Tuple[Any, Exception]] = None
         try:
-            for position, cell in task.pending:
-                futures[executor.submit(task.run_cell, cell)] = (position, cell)
-            for future in as_completed(futures):
-                position, cell = futures[future]
-                try:
-                    result = future.result()
-                except Exception as error:
-                    # Keep draining: completed cells still reach the
-                    # store, so a --resume after the failure recomputes
-                    # only the failed cell, not everything in flight.
-                    if failed is None:
-                        failed = (cell, error)
-                    continue
-                task.record(position, result)
-        except BaseException:
-            # Interrupted (KeyboardInterrupt, or a worker re-raising
-            # it): stop launching queued cells, keep what finished.
-            executor.shutdown(wait=False, cancel_futures=True)
-            self._drain_completed(futures, task)
-            raise
-        executor.shutdown()
+            try:
+                for position, cell, ref in submits:
+                    if ref is not None:
+                        future = executor.submit(
+                            _run_cell_with_plane, task.run_cell, cell, ref
+                        )
+                    else:
+                        future = executor.submit(task.run_cell, cell)
+                    futures[future] = (position, cell)
+                for future in as_completed(futures):
+                    position, cell = futures[future]
+                    try:
+                        result = future.result()
+                    except Exception as error:
+                        # Keep draining: completed cells still reach the
+                        # store, so a --resume after the failure recomputes
+                        # only the failed cell, not everything in flight.
+                        if failed is None:
+                            failed = (cell, error)
+                        continue
+                    task.record(position, result)
+            except BaseException:
+                # Interrupted (KeyboardInterrupt, or a worker re-raising
+                # it): stop launching queued cells, keep what finished.
+                executor.shutdown(wait=False, cancel_futures=True)
+                self._drain_completed(futures, task)
+                raise
+            executor.shutdown()
+        finally:
+            if publisher is not None:
+                publisher.close()
+            if enabled and counters is not None:
+                self.plane_stats = (
+                    plane.local_stats() - before
+                ) + plane.snapshot_shared(counters)
         if failed is not None:
             cell, error = failed
             raise wrap_cell_error(cell, error) from error

@@ -186,16 +186,16 @@ class PerformanceSimulation:
                 instance overriding ``params.engine`` (tests use it to
                 inspect an engine's span counters after the run).
         """
+        from repro.workloads import plane
+
         params = self.params
-        cores: List[TraceCore] = []
-        traces = []
-        for core_id in range(params.num_cores):
-            traces.append(
-                self.workload.arrays_for_core(
-                    core_id, params, self.config.organization
-                )
-            )
-            cores.append(TraceCore(core_id, self.config))
+        traces = list(
+            plane.traces_for(self.workload, params, self.config.organization)
+        )
+        cores: List[TraceCore] = [
+            TraceCore(core_id, self.config)
+            for core_id in range(params.num_cores)
+        ]
 
         memory = self.memory
         if engine is None:

@@ -44,7 +44,6 @@ from repro.registry import (
     register_workload_source,
     workload_source_names,
 )
-from repro.workloads.cache import load_trace_columns
 from repro.workloads.columnar import ColumnarTrace
 from repro.workloads.suites import ALL_WORKLOADS, WorkloadSpec
 
@@ -130,8 +129,18 @@ class TraceWorkload:
         return [str(root)]
 
     def columns_for_file(self, file_path: str):
-        """Cached ``(gaps, is_write, addresses)`` columns of one file."""
-        return load_trace_columns(file_path, name=file_path)
+        """Cached ``(gaps, is_write, addresses)`` columns of one file.
+
+        Goes through the workload plane's in-process memo (itself backed
+        by the on-disk parsed-trace cache), so a rate-mode directory
+        whose single file every core replays is loaded once per process
+        rather than once per core. With ``REPRO_WORKLOAD_PLANE=off``
+        this is a plain :func:`~repro.workloads.cache.load_trace_columns`
+        call.
+        """
+        from repro.workloads import plane
+
+        return plane.file_columns(file_path)
 
     def store_fingerprint(self) -> List[Tuple[str, int, int]]:
         """Content token for the result store: ``(basename, mtime_ns,

@@ -16,6 +16,21 @@ def isolated_trace_cache(tmp_path, monkeypatch):
     return cache
 
 
+@pytest.fixture(autouse=True)
+def fresh_workload_plane():
+    """Start and leave every test with a cold workload plane.
+
+    The plane's caches are process-wide by design; between tests they
+    must not leak — a test that monkeypatches trace generation or
+    mutates files would otherwise see a neighbour's cached bytes.
+    """
+    from repro.workloads import plane
+
+    plane.reset()
+    yield
+    plane.reset()
+
+
 @pytest.fixture
 def timing():
     """Real Table III timing."""

@@ -1,0 +1,283 @@
+"""Tests for the workload plane (:mod:`repro.workloads.plane`).
+
+The plane's contract has three legs, each pinned here:
+
+- **keys** — the cache key mirrors the store's fingerprint-free digest
+  ingredients, folds ``store_fingerprint()`` in for file-backed
+  workloads (re-recording invalidates), and refuses to key ad-hoc
+  workload objects (they can never alias a cached entry);
+- **bit-identity** — a grid run produces byte-identical results with
+  the plane on or off, on both engines, serial and pooled;
+- **lifecycle** — shared-memory round-trips are exact, published
+  segments are read-only to workers, and the publisher unlinks
+  everything it created.
+"""
+
+import dataclasses
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.sim.experiment import (
+    ExperimentSpec,
+    plan_cells,
+    resolve_workload,
+    run_grid,
+)
+from repro.sim.pool import ProcessPool, SerialPool
+from repro.sim.recorder import record_workload
+from repro.sim.simulator import PerformanceSimulation, SimulationParams
+from repro.workloads import plane
+from repro.workloads.columnar import ColumnarTrace
+
+PARAMS = SimulationParams(
+    trh=1200, num_cores=2, requests_per_core=600, time_scale=32
+)
+
+
+@pytest.fixture(autouse=True)
+def plane_on(monkeypatch):
+    """Force the plane on: these tests assert plane behavior even when
+    the suite runs under CI's ``REPRO_WORKLOAD_PLANE=off`` pass (tests
+    that assert the *off* behavior re-set the variable themselves)."""
+    monkeypatch.setenv(plane.ENV_PLANE, "on")
+
+
+def small_spec(workload="povray", **overrides):
+    return ExperimentSpec(
+        workloads=[workload],
+        mitigations=["rrs", "srs"],
+        base_params=dataclasses.replace(PARAMS, **overrides),
+    )
+
+
+def record_rate_trace(tmp_path, requests=3000):
+    """A single-file (rate-mode) recording every core replays."""
+    out = tmp_path / "recorded"
+    record_workload(
+        resolve_workload("gcc"),
+        SimulationParams(num_cores=1, requests_per_core=requests),
+        out_dir=str(out),
+    )
+    return str(out)
+
+
+class TestWorkloadKey:
+    def test_stable_and_generation_sensitive(self):
+        spec = resolve_workload("povray")
+        org = PARAMS.make_organization()
+        key = plane.workload_key(spec, PARAMS, org)
+        assert key == plane.workload_key(spec, PARAMS, org)
+        assert key != plane.workload_key(
+            spec, dataclasses.replace(PARAMS, seed=1), org
+        )
+        assert key != plane.workload_key(
+            spec, dataclasses.replace(PARAMS, requests_per_core=601), org
+        )
+        assert key != plane.workload_key(
+            resolve_workload("gcc"), PARAMS, org
+        )
+
+    def test_trace_key_folds_store_fingerprint(self, tmp_path):
+        """Regression: re-recording a trace under the same path must
+        change the plane key (same invalidation the store uses)."""
+        trace_dir = record_rate_trace(tmp_path)
+        workload = resolve_workload(f"trace:{trace_dir}")
+        org = PARAMS.make_organization()
+        before = plane.workload_key(workload, PARAMS, org)
+        assert before is not None
+        time.sleep(0.01)  # ensure a distinct mtime_ns on coarse clocks
+        record_workload(
+            resolve_workload("povray"),
+            SimulationParams(num_cores=1, requests_per_core=3000),
+            out_dir=trace_dir,
+        )
+        after = plane.workload_key(workload, PARAMS, org)
+        assert after is not None
+        assert before != after
+
+    def test_rerecorded_trace_regenerates(self, tmp_path):
+        """The in-process cache must not serve stale bytes after the
+        backing file changed."""
+        trace_dir = record_rate_trace(tmp_path)
+        workload = resolve_workload(f"trace:{trace_dir}")
+        org = PARAMS.make_organization()
+        first = plane.traces_for(workload, PARAMS, org)
+        time.sleep(0.01)
+        record_workload(
+            resolve_workload("povray"),
+            SimulationParams(num_cores=1, requests_per_core=3000),
+            out_dir=trace_dir,
+        )
+        second = plane.traces_for(workload, PARAMS, org)
+        assert not first[0].equals(second[0])
+
+    def test_missing_trace_keys_to_none(self, tmp_path):
+        workload = resolve_workload(f"trace:{tmp_path / 'nope'}")
+        assert (
+            plane.workload_key(workload, PARAMS, PARAMS.make_organization())
+            is None
+        )
+
+    def test_adhoc_workload_is_uncacheable(self):
+        class AdHoc:
+            def arrays_for_core(self, core_id, params, organization):
+                return ColumnarTrace.empty()
+
+        org = PARAMS.make_organization()
+        workload = AdHoc()
+        assert plane.workload_key(workload, PARAMS, org) is None
+        first = plane.traces_for(workload, PARAMS, org)
+        second = plane.traces_for(workload, PARAMS, org)
+        assert first[0] is not second[0]
+        assert not plane.local_stats()
+
+
+class TestTracesFor:
+    def test_memoizes_within_a_process(self):
+        spec = resolve_workload("povray")
+        org = PARAMS.make_organization()
+        first = plane.traces_for(spec, PARAMS, org)
+        second = plane.traces_for(spec, PARAMS, org)
+        assert all(a is b for a, b in zip(first, second))
+        stats = plane.local_stats()
+        assert stats.generated == 1
+        assert stats.trace_hits == 1
+
+    def test_rate_mode_decodes_once(self, tmp_path, monkeypatch):
+        """A single-file recording is parsed and decoded once for all
+        cores, and the per-core traces share one array set."""
+        import repro.workloads.cache as cache_module
+
+        trace_dir = record_rate_trace(tmp_path)
+        loads = []
+        original = cache_module.load_trace_columns
+
+        def counting(path, **kwargs):
+            loads.append(path)
+            return original(path, **kwargs)
+
+        monkeypatch.setattr(cache_module, "load_trace_columns", counting)
+        workload = resolve_workload(f"trace:{trace_dir}")
+        params = dataclasses.replace(PARAMS, num_cores=4)
+        traces = plane.traces_for(workload, params, params.make_organization())
+        assert len(traces) == 4
+        assert all(t is traces[0] for t in traces)
+        assert len(loads) == 1
+
+    def test_plane_off_regenerates_every_call(self, monkeypatch):
+        monkeypatch.setenv(plane.ENV_PLANE, "off")
+        spec = resolve_workload("povray")
+        org = PARAMS.make_organization()
+        first = plane.traces_for(spec, PARAMS, org)
+        second = plane.traces_for(spec, PARAMS, org)
+        assert first[0] is not second[0]
+        assert first[0].equals(second[0])
+        assert not plane.local_stats()
+
+
+class TestSharedMemory:
+    def test_roundtrip_is_exact_and_readonly(self):
+        spec = resolve_workload("povray")
+        trace = spec.arrays_for_core(0, PARAMS, PARAMS.make_organization())
+        shm, layout = trace.to_shm(name=f"repro-test-{os.getpid():x}")
+        try:
+            rebuilt = ColumnarTrace.from_shm(shm, layout)
+            assert rebuilt.equals(trace)
+            with pytest.raises(ValueError):
+                rebuilt.gaps[0] = 99
+        finally:
+            del rebuilt
+            shm.close()
+            shm.unlink()
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="no /dev/shm on this platform"
+    )
+    def test_publisher_close_unlinks_segments(self):
+        keyed = plane.keyed_pending(
+            list(enumerate(plan_cells(small_spec())))
+        )
+        publisher = plane.PlanePublisher()
+        publisher.publish(keyed)
+        assert publisher.refs  # the shared workload was published
+        names = [
+            layout.name
+            for ref in publisher.refs.values()
+            for layout in ref.layouts
+        ]
+        assert names
+        for name in names:
+            assert os.path.exists(f"/dev/shm/{name}")
+        publisher.close()
+        for name in names:
+            assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_attach_falls_back_after_unlink(self):
+        """A worker racing the coordinator's unlink regenerates."""
+        keyed = plane.keyed_pending(
+            list(enumerate(plan_cells(small_spec())))
+        )
+        publisher = plane.PlanePublisher()
+        publisher.publish(keyed)
+        (ref,) = publisher.refs.values()
+        publisher.close()
+        plane.reset()
+        plane.offer(ref)
+        spec = resolve_workload("povray")
+        traces = plane.traces_for(spec, PARAMS, PARAMS.make_organization())
+        assert len(traces) == PARAMS.num_cores
+        stats = plane.local_stats()
+        assert stats.attached == 0
+        assert stats.generated == 1
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_serial_grid_identical_plane_on_off(self, engine, monkeypatch):
+        spec = small_spec(engine=engine)
+        monkeypatch.setenv(plane.ENV_PLANE, "off")
+        off = run_grid(spec, pool=SerialPool())
+        plane.reset()
+        monkeypatch.setenv(plane.ENV_PLANE, "on")
+        on = run_grid(spec, pool=SerialPool())
+        assert off.to_json() == on.to_json()
+        assert off.run_stats.workloads is None
+        assert on.run_stats.workloads.generated == 1
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_pooled_trace_grid_identical_plane_on_off(
+        self, engine, tmp_path, monkeypatch
+    ):
+        trace_dir = record_rate_trace(tmp_path, requests=1500)
+        spec = small_spec(workload=f"trace:{trace_dir}", engine=engine)
+        monkeypatch.setenv(plane.ENV_PLANE, "off")
+        off = run_grid(spec, pool=SerialPool())
+        plane.reset()
+        monkeypatch.setenv(plane.ENV_PLANE, "on")
+        pooled = run_grid(spec, pool=ProcessPool(2))
+        assert off.to_json() == pooled.to_json()
+
+    def test_decode_cache_hits_under_batched_engine(self):
+        """Back-to-back batched cells over one workload share a decode."""
+        spec = resolve_workload("povray")
+        params = dataclasses.replace(PARAMS, engine="batched")
+        for mitigation in ("baseline", "rrs"):
+            PerformanceSimulation(spec, mitigation, params).run()
+        stats = plane.local_stats()
+        assert stats.decode_hits >= 1
+        assert stats.generated == 1
+
+
+class TestFuzzUnderPlane:
+    def test_fuzz_seeds_pass_with_plane_enabled(self, monkeypatch):
+        """The differential fuzzer's scenarios stay scalar/batched
+        bit-identical with the plane forced on."""
+        from test_engine_fuzz import check_seed
+
+        monkeypatch.setenv(plane.ENV_PLANE, "on")
+        for seed in (11, 12, 13):
+            plane.reset()
+            check_seed(seed)

@@ -379,3 +379,96 @@ class TestSerialPoolContract:
         monkeypatch.setattr(experiment, "_run_cell", counting)
         results = run_grid(SPEC, store=str(tmp_path / "s"), pool=SerialPool())
         assert len(calls) == len(results)
+
+
+def run_kb_cell(cell):
+    """A perf-cell runner that simulates Ctrl-C reaching a worker."""
+    raise KeyboardInterrupt
+
+
+def shm_names():
+    """Current ``repro-`` shared-memory segment names."""
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return {name for name in os.listdir("/dev/shm") if name.startswith("repro-")}
+
+
+class TestWorkloadPlane:
+    """Plane accounting and shared-memory lifecycle through the pools."""
+
+    @pytest.fixture(autouse=True)
+    def plane_on(self, monkeypatch):
+        """Force the plane on even under CI's plane-off suite pass."""
+        monkeypatch.setenv("REPRO_WORKLOAD_PLANE", "on")
+
+    SPEC = ExperimentSpec(
+        workloads=["povray"],
+        mitigations=["rrs", "srs"],
+        base_params=SimulationParams(
+            trh=1200, num_cores=1, requests_per_core=600, time_scale=32
+        ),
+    )
+
+    def test_pooled_run_attaches_published_workload(self):
+        """The coordinator generates (publish), workers attach."""
+        before = shm_names()
+        results = run_grid(self.SPEC, pool=ProcessPool(2))
+        stats = results.run_stats.workloads
+        assert stats is not None
+        assert stats.generated >= 1
+        assert stats.attached >= 1
+        assert shm_names() == before
+
+    def test_serial_run_hits_caches(self):
+        """Serial cells over one workload hit the trace (and, under the
+        batched engine, decode) caches; the accounting lands in
+        RunStats."""
+        spec = dataclasses.replace(
+            self.SPEC,
+            base_params=dataclasses.replace(
+                self.SPEC.base_params, engine="batched"
+            ),
+        )
+        results = run_grid(spec, pool=SerialPool())
+        stats = results.run_stats.workloads
+        assert stats is not None
+        assert stats.generated == 1
+        assert stats.trace_hits >= 1
+        assert stats.decode_hits >= 1
+
+    def test_plane_off_means_no_stats(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOAD_PLANE", "off")
+        for pool in (SerialPool(), ProcessPool(2)):
+            results = run_grid(self.SPEC, pool=pool)
+            assert results.run_stats.workloads is None
+
+    def test_no_shm_leak_after_cell_failure(self, tmp_path):
+        """A failing cell still tears every published segment down."""
+        before = shm_names()
+        spec = dataclasses.replace(
+            self.SPEC,
+            workloads=["povray", f"trace:{tmp_path / 'missing'}"],
+        )
+        with pytest.raises(RuntimeError):
+            run_grid(spec, pool=ProcessPool(2))
+        assert shm_names() == before
+
+    def test_no_shm_leak_after_interrupt(self):
+        """Ctrl-C mid-run: the drain path unlinks published segments."""
+        from repro.sim.experiment import plan_cells
+        from repro.sim.pool import PoolTask
+
+        before = shm_names()
+        pending = list(enumerate(plan_cells(self.SPEC)))
+        pool = ProcessPool(2)
+        task = PoolTask(
+            pending=pending, run_cell=run_kb_cell,
+            record=lambda position, result: None,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            pool.run(task)
+        # The publisher generated the shared workload before the
+        # interrupt hit, and its segments are gone regardless.
+        assert pool.plane_stats is not None
+        assert pool.plane_stats.generated >= 1
+        assert shm_names() == before
