@@ -18,7 +18,8 @@ Commands:
 - ``power`` — Table V power overheads.
 - ``report`` — emit registered paper figures/tables (markdown + CSV)
   from the result store, executing only missing cells.
-- ``store ls`` / ``store prune`` — inspect and clean a result store.
+- ``store ls`` / ``store prune`` / ``store pack`` — inspect, clean,
+  and compact a result store.
 
 Mitigation and tracker choices are generated from
 :mod:`repro.registry`, so a newly registered design shows up here with
@@ -124,23 +125,24 @@ def _run_eval(
     spec: ExperimentSpec,
     args: argparse.Namespace,
     progress=None,
-    default_jobs: Optional[int] = None,
     pool=None,
 ) -> ResultSet:
     """Run a spec through the engine with the shared store/shard flags.
 
-    ``default_jobs`` is the worker count used when ``--jobs`` is not
-    given: the analytical commands pass ``1`` so microsecond-scale cells
-    (storage, power, analytical-only attack) are not taxed with process
-    startup; grids and Monte-Carlo studies keep the CPU-count default.
-    ``pool`` overrides the execution backend (``--hosts``).
+    Every command defaults to the CPU-count worker pool (``--jobs 1``
+    forces serial): chunked dispatch packs microsecond-scale analytical
+    cells by the dozens per work unit, so high-cardinality storage /
+    power / security grids parallelize instead of drowning in per-cell
+    process dispatch (which is why these commands used to pin
+    ``--jobs 1``). ``pool`` overrides the execution backend
+    (``--hosts``).
     """
     if getattr(args, "resume", False) and not getattr(args, "store", None):
         raise SystemExit("--resume needs --store")
     jobs = getattr(args, "jobs", None)
     return run_grid(
         spec,
-        max_workers=jobs if jobs is not None else default_jobs,
+        max_workers=jobs,
         progress=progress,
         store=getattr(args, "store", None),
         reuse=bool(getattr(args, "resume", False)),
@@ -420,9 +422,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             iterations=args.iterations,
         ),
     )
-    results = _run_eval(
-        spec, args, default_jobs=1 if args.iterations == 0 else None
-    )
+    results = _run_eval(spec, args)
     print(f"Juggernaut at TRH={args.trh}, swap rate {args.swap_rate}:")
     for result in results:
         if result.mitigation == "rrs":
@@ -449,9 +449,7 @@ def _cmd_security_sweep(args: argparse.Namespace) -> int:
         base_params=SecurityParams(step=20, iterations=args.iterations),
         grid={"trh": list(args.trh), "swap_rate": rates},
     )
-    results = _run_eval(
-        spec, args, default_jobs=1 if args.iterations == 0 else None
-    )
+    results = _run_eval(spec, args)
     # Row order follows the requested rates (and TRH blocks), never
     # worker completion order: the engine returns cells in plan order
     # and the lookup below re-walks the requested axes.
@@ -503,7 +501,7 @@ def _cmd_storage(args: argparse.Namespace) -> int:
         base_params=StorageParams(direction_bit=args.direction_bit),
         grid={"trh": list(args.trh)},
     )
-    results = _run_eval(spec, args, default_jobs=1)
+    results = _run_eval(spec, args)
     by_point = {(r.mitigation, r.trh): r for r in results}
     print(f"{'TRH':>6s}{'RRS KB':>9s}{'Scale KB':>10s}{'ratio':>7s}")
     for trh in args.trh:
@@ -524,7 +522,7 @@ def _cmd_power(args: argparse.Namespace) -> int:
         mitigations=["rrs", "scale-srs"],
         base_params=PowerParams(trh=args.trh),
     )
-    results = _run_eval(spec, args, default_jobs=1)
+    results = _run_eval(spec, args)
     by_design = {r.mitigation: r for r in results}
     for design in ("rrs", "scale-srs"):
         row = by_design.get(design)
@@ -647,6 +645,17 @@ def _cmd_store_prune(args: argparse.Namespace) -> int:
     for path, reason in removals:
         print(f"{verb} {os.path.basename(path)}: {reason}")
     print(f"{verb} {len(removals)} entries")
+    return 0
+
+
+def _cmd_store_pack(args: argparse.Namespace) -> int:
+    from repro.sim.store import ResultStore
+
+    stats = ResultStore(args.dir).pack()
+    print(
+        f"packed {stats.packed} entries "
+        f"({stats.duplicate} already packed, {stats.skipped} skipped)"
+    )
     return 0
 
 
@@ -868,6 +877,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dry-run", action="store_true",
                    help="report what would be removed without deleting")
     p.set_defaults(func=_cmd_store_prune)
+
+    p = store_sub.add_parser(
+        "pack", help="fold loose per-cell files into the packed segment "
+                     "(pack.seg + pack.idx); reads and --resume are "
+                     "unaffected"
+    )
+    p.add_argument("dir", help="result store directory")
+    p.set_defaults(func=_cmd_store_pack)
 
     return parser
 

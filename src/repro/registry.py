@@ -238,6 +238,13 @@ class EvaluationInfo:
             kind implements export elsewhere (``perf`` lives in
             :class:`~repro.sim.experiment.ResultSet`).
         csv_row: ``result record -> row values`` matching ``csv_header``.
+        cell_cost: Optional ``params -> relative cost`` estimate used by
+            the chunk scheduler (:func:`~repro.sim.pool.chunk_plan`) to
+            size dispatch units: roughly one unit per simulated memory
+            request, so microsecond analytical cells report tens of
+            units (and pack by the hundreds per chunk) while heavy
+            simulation cells report thousands (and dispatch alone).
+            Only relative magnitude matters; ``None`` means one unit.
     """
 
     name: str
@@ -254,6 +261,7 @@ class EvaluationInfo:
     result_from_dict: Optional[Callable[[Mapping[str, Any]], Any]] = None
     csv_header: Optional[Tuple[str, ...]] = None
     csv_row: Optional[Callable[[Any], List[Any]]] = None
+    cell_cost: Optional[Callable[[Any], float]] = None
 
     @property
     def param_fields(self) -> Tuple[str, ...]:
@@ -567,6 +575,7 @@ def register_evaluation(
     result_from_dict: Optional[Callable[[Mapping[str, Any]], Any]] = None,
     csv_header: Optional[Tuple[str, ...]] = None,
     csv_row: Optional[Callable[[Any], List[Any]]] = None,
+    cell_cost: Optional[Callable[[Any], float]] = None,
 ) -> Callable[[Callable[[Any], Any]], Callable[[Any], Any]]:
     """Function decorator registering an evaluation kind's cell runner.
 
@@ -614,6 +623,7 @@ def register_evaluation(
                 result_from_dict=result_from_dict,
                 csv_header=csv_header,
                 csv_row=csv_row,
+                cell_cost=cell_cost,
             ),
         )
         return runner

@@ -82,6 +82,7 @@ def resolve_figure(
     sets: List[ResultSet] = []
     planned = executed = reused = 0
     workloads = None
+    chunks = None
     for experiment in spec.specs:
         results = run_grid(
             experiment,
@@ -101,6 +102,8 @@ def resolve_figure(
                 stats.workloads if workloads is None
                 else workloads + stats.workloads
             )
+        if stats.chunks is not None:
+            chunks = stats.chunks if chunks is None else chunks + stats.chunks
         sets.append(results)
     merged = sets[0].merge(*sets[1:]) if sets else ResultSet([])
     extras = {}
@@ -112,7 +115,7 @@ def resolve_figure(
         config=spec.config or ReportConfig(),
         stats=RunStats(
             planned=planned, executed=executed, reused=reused, shard=shard,
-            workloads=workloads,
+            workloads=workloads, chunks=chunks,
         ),
     )
 

@@ -82,6 +82,12 @@ from repro.sim.simulator import SimulationParams
     ),
     result_to_dict=result_to_dict,
     result_from_dict=result_from_dict,
+    # One unit per simulated memory request: a real perf cell costs
+    # thousands of units and therefore always exceeds the chunk budget,
+    # keeping heavy simulation at ~1 cell per dispatch.
+    cell_cost=lambda params: float(
+        (params.requests_per_core or 0) * (params.num_cores or 1)
+    ),
 )
 def run_perf_cell(cell: ExperimentCell) -> SimulationResult:
     """Run one performance cell (delegates to the simulator driver)."""
@@ -192,6 +198,22 @@ def _security_csv_row(result: SecurityResult) -> List[object]:
     ]
 
 
+def _security_cell_cost(params: "SecurityParams") -> float:
+    """Relative cost of one security cell (chunk-scheduling hint).
+
+    Analytical evaluation is tens of microseconds at a fixed round
+    budget and a few hundred units when the optimal-``N`` scan runs;
+    Monte-Carlo sampling dominates everything else, so its cells are
+    priced past the chunk budget and dispatch individually.
+    """
+    cost = 50.0
+    if params.rounds is None:
+        cost += 200.0
+    if params.iterations > 0:
+        cost += 10.0 * float(params.iterations)
+    return cost
+
+
 @register_evaluation(
     "security",
     params_cls=SecurityParams,
@@ -200,6 +222,7 @@ def _security_csv_row(result: SecurityResult) -> List[object]:
     scenario="juggernaut",
     description="Juggernaut time-to-break (analytical + Monte-Carlo)",
     schema_version=1,
+    cell_cost=_security_cell_cost,
     csv_header=(
         "workload", "mitigation", "trh", "swap_rate", "ts", "rounds",
         "required_guesses", "guesses_per_window", "success_probability",
@@ -324,6 +347,7 @@ class StorageResult:
     scenario="table-iv",
     description="per-bank SRAM storage inventory (Table IV)",
     schema_version=1,
+    cell_cost=lambda params: 20.0,  # closed-form model: microseconds
     csv_header=(
         "workload", "mitigation", "trh", "rit_kb", "swap_buffer_kb",
         "place_back_kb", "epoch_register_kb", "pin_buffer_kb", "total_kb",
@@ -402,6 +426,7 @@ class PowerResult:
     scenario="table-v",
     description="DRAM/SRAM power overheads (Table V)",
     schema_version=1,
+    cell_cost=lambda params: 20.0,  # closed-form model: microseconds
     csv_header=(
         "workload", "mitigation", "trh", "dram_overhead_percent",
         "sram_power_mw",

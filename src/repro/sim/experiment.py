@@ -96,7 +96,13 @@ from repro.sim.pool import (
     SerialPool,
     available_cpu_count,
 )
-from repro.sim.store import ResultStore, cell_digest, shard_of
+from repro.sim.store import (
+    ResultStore,
+    cell_digest,
+    cell_key,
+    key_digest,
+    shard_of,
+)
 from repro.sim.results import (
     SimulationResult,
     geometric_mean,
@@ -408,6 +414,9 @@ class RunStats:
             (:class:`~repro.workloads.plane.PlaneStats`: generated /
             attached / cache hits) when a single-machine backend ran
             with the plane enabled; ``None`` otherwise.
+        chunks: Dispatch chunks the backend submitted (see
+            :func:`~repro.sim.pool.chunk_plan`) when a chunking backend
+            ran the grid; ``None`` for serial and multi-host runs.
     """
 
     planned: int
@@ -416,6 +425,7 @@ class RunStats:
     shard: Optional[Tuple[int, int]] = None
     hosts: Optional[Tuple[HostStats, ...]] = None
     workloads: Optional[PlaneStats] = None
+    chunks: Optional[int] = None
 
 
 def run_grid(
@@ -478,14 +488,15 @@ def run_grid(
     if isinstance(store, str):
         store = ResultStore(store)
 
-    # One digest per cell for the whole run: fingerprinting a trace
-    # workload stats its files, so the reuse scan and the write-back
-    # share the computation instead of repeating it.
+    # One key + digest per cell for the whole run: fingerprinting a
+    # trace workload stats its files, so the reuse scan and the
+    # write-back share one computation instead of repeating it.
+    keys: Dict[int, Dict[str, Any]] = {}
     digests: Dict[int, str] = {}
     if store is not None:
-        digests = {
-            position: cell_digest(cell) for position, cell in enumerate(jobs)
-        }
+        for position, cell in enumerate(jobs):
+            keys[position] = cell_key(cell)
+            digests[position] = key_digest(keys[position])
 
     cached: Dict[int, Any] = {}
     if store is not None and reuse:
@@ -502,19 +513,38 @@ def run_grid(
     by_position: Dict[int, Any] = dict(cached)
     reported = 0
 
+    def _absorb(position: int, result: Any) -> None:
+        """File one result and report the contiguous plan-order prefix."""
+        nonlocal reported
+        by_position[position] = result
+        if progress is not None:
+            while reported in by_position:
+                progress(reported + 1, len(jobs), by_position[reported])
+                reported += 1
+
     def record(position: int, result: Any) -> None:
         """Persist and file one computed result the moment it exists —
         out-of-order completions reach the store immediately, so a
         killed parallel run keeps everything that actually finished."""
-        nonlocal reported
         if store is not None:
-            store.put(jobs[position], result, digest=digests[position])
-        by_position[position] = result
-        if progress is not None:
-            # Report the contiguous completed prefix, in plan order.
-            while reported in by_position:
-                progress(reported + 1, len(jobs), by_position[reported])
-                reported += 1
+            store.put(
+                jobs[position],
+                result,
+                digest=digests[position],
+                key=keys[position],
+            )
+        _absorb(position, result)
+
+    def record_batch(batch: Sequence[Tuple[int, Any]]) -> None:
+        """Persist and file one chunk's results in a single store
+        transaction (chunked backends call this once per chunk)."""
+        if store is not None:
+            store.put_many([
+                (jobs[position], result, digests[position], keys[position])
+                for position, result in batch
+            ])
+        for position, result in batch:
+            _absorb(position, result)
 
     if progress is not None:
         # Reused cells forming the plan prefix are reportable at once.
@@ -530,6 +560,7 @@ def run_grid(
             pending=pending,
             run_cell=_run_cell,
             record=record,
+            record_batch=record_batch,
             store=store,
         ))
 
@@ -541,6 +572,7 @@ def run_grid(
         shard=shard,
         hosts=getattr(pool, "host_stats", None),
         workloads=getattr(pool, "plane_stats", None),
+        chunks=getattr(pool, "chunk_count", None),
     )
     return result_set
 

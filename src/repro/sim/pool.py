@@ -46,7 +46,13 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.store import MergeStats, ResultStore
+from repro.registry import EVALUATIONS
+from repro.sim.store import (
+    MergeStats,
+    PACK_INDEX,
+    PACK_SEGMENT,
+    ResultStore,
+)
 from repro.workloads import plane
 
 
@@ -64,6 +70,131 @@ def _run_cell_with_plane(
     if ref is not None:
         plane.offer(ref)
     return run_cell(cell)
+
+
+#: Environment switch for chunked dispatch (``off``/``0``/``false``/``no``
+#: disables it; anything else, including unset, leaves it on).
+ENV_CHUNKING = "REPRO_GRID_CHUNKING"
+
+#: Per-chunk cost budget, in :func:`cell_cost` units (one unit is
+#: roughly one simulated memory request, i.e. microseconds of work).
+#: A real ``perf`` cell costs thousands of units and therefore fills a
+#: chunk alone; analytical cells (tens of units) pack by the dozens to
+#: hundreds, which is what amortizes the per-dispatch pickle + IPC +
+#: store round-trip on high-cardinality grids.
+CHUNK_BUDGET = 4000.0
+
+
+def chunking_enabled() -> bool:
+    """Whether chunked dispatch is on (default yes; env escape hatch)."""
+    return os.environ.get(ENV_CHUNKING, "").lower() not in (
+        "off",
+        "0",
+        "false",
+        "no",
+    )
+
+
+def cell_cost(cell: Any) -> float:
+    """Expected relative cost of one cell, in chunk-budget units.
+
+    Delegates to the evaluation kind's registered ``cell_cost`` hint
+    (see :class:`repro.registry.EvaluationInfo`); kinds without a hint,
+    unknown kinds, and hint failures all degrade to one unit — the
+    scheduler then simply packs such cells by count. Never returns less
+    than one unit, so a chunk's cell count is bounded by the budget.
+    """
+    try:
+        hook = EVALUATIONS.get(cell.kind).cell_cost
+        if hook is None:
+            return 1.0
+        return max(1.0, float(hook(cell.params)))
+    except Exception:
+        return 1.0
+
+
+def chunk_plan(
+    ordered: Sequence[Tuple[int, Any, Optional[str]]],
+    max_workers: int,
+    budget_cap: float = CHUNK_BUDGET,
+) -> List[List[Tuple[int, Any, Optional[str]]]]:
+    """Partition affinity-ordered cells into dispatch chunks.
+
+    Greedy sweep over :func:`repro.workloads.plane.affinity_order`
+    output: a chunk closes when the workload key changes (each chunk
+    shares one plane attach — the workload grouping *is* the partition
+    key) or when its accumulated :func:`cell_cost` reaches the budget.
+    The budget is ``min(budget_cap, total_cost / max_workers)`` — never
+    wider than an even split across the workers, so a small grid still
+    fans out instead of collapsing into one chunk.
+
+    Deterministic: the partition is a pure function of the ordered
+    cells and worker count. Execution order inside a chunk is the
+    affinity order, and recording stays plan-positional — chunking
+    changes dispatch granularity, never results.
+    """
+    costs = [cell_cost(cell) for _, cell, _ in ordered]
+    total = sum(costs)
+    budget = max(1.0, min(budget_cap, total / max(1, max_workers)))
+    chunks: List[List[Tuple[int, Any, Optional[str]]]] = []
+    current: List[Tuple[int, Any, Optional[str]]] = []
+    current_cost = 0.0
+    current_key: Any = None
+    for item, cost in zip(ordered, costs):
+        key = item[2]
+        if current and (key != current_key or current_cost >= budget):
+            chunks.append(current)
+            current = []
+            current_cost = 0.0
+        current.append(item)
+        current_cost += cost
+        current_key = key
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+@dataclass
+class ChunkOutcome:
+    """What one dispatched chunk produced (worker → coordinator).
+
+    ``completed`` holds ``(plan position, result)`` for every cell that
+    finished — on failure or interrupt it is the completed prefix, so
+    partially-executed chunks still persist their finished cells.
+    ``failed_position``/``error`` identify the first cell that raised
+    (``error`` may be a :class:`BaseException` such as
+    :class:`KeyboardInterrupt`; the coordinator re-routes those through
+    the interrupt drain path).
+    """
+
+    completed: List[Tuple[int, Any]] = field(default_factory=list)
+    failed_position: Optional[int] = None
+    error: Optional[BaseException] = None
+
+
+def _run_chunk(
+    run_cell: Callable[[Any], Any],
+    cells: Sequence[Tuple[int, Any]],
+    ref: Any,
+) -> ChunkOutcome:
+    """Worker-side chunk runner: one plane attach, then run the cells.
+
+    Catches ``BaseException`` per cell — a ``KeyboardInterrupt``
+    delivered mid-chunk must still return the completed prefix to the
+    coordinator instead of discarding it with the future.
+    """
+    if ref is not None:
+        plane.offer(ref)
+    outcome = ChunkOutcome()
+    for position, cell in cells:
+        try:
+            result = run_cell(cell)
+        except BaseException as error:
+            outcome.failed_position = position
+            outcome.error = error
+            break
+        outcome.completed.append((position, result))
+    return outcome
 
 
 def available_cpu_count() -> int:
@@ -138,6 +269,11 @@ class PoolTask:
             result — it persists to the store immediately and reports
             progress for the contiguous completed prefix. Backends must
             call it from the thread that called :meth:`Pool.run`.
+        record_batch: ``record_batch(batch)`` files a chunk's completed
+            ``(position, result)`` pairs in one call — one store
+            transaction per chunk instead of per cell. Optional (the
+            engine provides it; hand-built tasks may omit it) — use
+            :meth:`record_all`, which falls back to per-cell ``record``.
         store: The coordinator's :class:`~repro.sim.store.ResultStore`
             when the run has one; required by :class:`SshPool` (remote
             results travel through stores).
@@ -146,7 +282,18 @@ class PoolTask:
     pending: List[Tuple[int, Any]]
     run_cell: Callable[[Any], Any]
     record: Callable[[int, Any], None]
+    record_batch: Optional[Callable[[Sequence[Tuple[int, Any]]], None]] = None
     store: Optional[ResultStore] = None
+
+    def record_all(self, batch: Sequence[Tuple[int, Any]]) -> None:
+        """File a batch through ``record_batch`` (or per-cell fallback)."""
+        if not batch:
+            return
+        if self.record_batch is not None:
+            self.record_batch(batch)
+        else:
+            for position, result in batch:
+                self.record(position, result)
 
 
 class Pool:
@@ -232,20 +379,37 @@ class ProcessPool(Pool):
 
     name = "process"
 
-    def __init__(self, max_workers: Optional[int] = None):
-        """``max_workers`` defaults to :func:`available_cpu_count`."""
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        chunking: Optional[bool] = None,
+    ):
+        """``max_workers`` defaults to :func:`available_cpu_count`;
+        ``chunking`` defaults to the :func:`chunking_enabled` switch
+        (pass ``False`` to force one cell per dispatch — the bench
+        harness compares the two)."""
         self.max_workers = max_workers or available_cpu_count()
+        self.chunking = chunking_enabled() if chunking is None else bool(chunking)
+        #: Dispatched chunk count of the last :meth:`run` (rolled into
+        #: :class:`~repro.sim.experiment.RunStats`).
+        self.chunk_count: Optional[int] = None
 
     def run(self, task: PoolTask) -> None:
-        """Fan the pending cells out; record results as they complete.
+        """Fan the pending cells out in chunks; record as they complete.
+
+        Cells are partitioned by :func:`chunk_plan` over their
+        cache-affinity order — a chunk holds cells of one workload key
+        up to a cost budget, so cheap analytical cells share one
+        dispatch (and one plane attach) while a heavy ``perf`` cell
+        fills a chunk alone. Each completed chunk's batch is recorded
+        in one call (one store transaction per chunk); recording stays
+        plan-positional, so progress and the store are unaffected by
+        the partition.
 
         With the workload plane enabled the coordinator additionally
         (1) publishes each distinct multi-cell workload to shared
-        memory so workers attach instead of regenerating, (2) submits
-        cells in cache-affinity order (grouped by workload key, largest
-        expected cost first within a group — recording stays plan-order
-        regardless, so progress and the store are unaffected), and
-        (3) collects worker-side plane counters into
+        memory so workers attach instead of regenerating, and
+        (2) collects worker-side plane counters into
         :attr:`Pool.plane_stats`. Shared-memory segments are unlinked
         on *every* exit path — success, cell failure, and the interrupt
         drain — in the ``finally`` below.
@@ -254,8 +418,9 @@ class ProcessPool(Pool):
         publisher = None
         counters = None
         before = plane.local_stats()
+        keyed = plane.keyed_pending(task.pending)
+        ordered = plane.affinity_order(keyed)
         if enabled:
-            keyed = plane.keyed_pending(task.pending)
             publisher = plane.PlanePublisher()
             publisher.publish(keyed)
             counters = plane.make_shared_counters()
@@ -264,40 +429,54 @@ class ProcessPool(Pool):
                 initializer=plane.init_worker,
                 initargs=(counters,),
             )
-            submits = [
-                (position, cell, publisher.refs.get(key))
-                for position, cell, key in plane.affinity_order(keyed)
-            ]
         else:
             executor = ProcessPoolExecutor(max_workers=self.max_workers)
-            submits = [(position, cell, None) for position, cell in task.pending]
-        futures: Dict[Any, Tuple[int, Any]] = {}
+        if self.chunking:
+            groups = chunk_plan(ordered, self.max_workers)
+        else:
+            groups = [[item] for item in ordered]
+        self.chunk_count = len(groups)
+        refs = publisher.refs if publisher is not None else {}
+        futures: Dict[Any, List[Tuple[int, Any]]] = {}
         failed: Optional[Tuple[Any, Exception]] = None
         try:
             try:
-                for position, cell, ref in submits:
-                    if ref is not None:
-                        future = executor.submit(
-                            _run_cell_with_plane, task.run_cell, cell, ref
-                        )
-                    else:
-                        future = executor.submit(task.run_cell, cell)
-                    futures[future] = (position, cell)
+                for group in groups:
+                    cells = [(position, cell) for position, cell, _ in group]
+                    ref = refs.get(group[0][2]) if refs else None
+                    future = executor.submit(
+                        _run_chunk, task.run_cell, cells, ref
+                    )
+                    futures[future] = cells
                 for future in as_completed(futures):
-                    position, cell = futures[future]
+                    cells = futures[future]
                     try:
-                        result = future.result()
+                        outcome = future.result()
                     except Exception as error:
-                        # Keep draining: completed cells still reach the
-                        # store, so a --resume after the failure recomputes
-                        # only the failed cell, not everything in flight.
+                        # The dispatch itself failed (broken pool,
+                        # unpicklable payload): blame the chunk's first
+                        # cell but keep draining — completed chunks
+                        # still reach the store, so a --resume after
+                        # the failure recomputes only what never ran.
                         if failed is None:
-                            failed = (cell, error)
+                            failed = (cells[0][1], error)
                         continue
-                    task.record(position, result)
+                    task.record_all(outcome.completed)
+                    if outcome.error is not None:
+                        if isinstance(outcome.error, Exception):
+                            if failed is None:
+                                cell = dict(cells)[outcome.failed_position]
+                                failed = (cell, outcome.error)
+                        else:
+                            # KeyboardInterrupt (or another
+                            # BaseException) inside a worker cell: the
+                            # chunk's completed prefix is already
+                            # recorded; route the rest through the
+                            # interrupt drain below.
+                            raise outcome.error
             except BaseException:
                 # Interrupted (KeyboardInterrupt, or a worker re-raising
-                # it): stop launching queued cells, keep what finished.
+                # it): stop launching queued chunks, keep what finished.
                 executor.shutdown(wait=False, cancel_futures=True)
                 self._drain_completed(futures, task)
                 raise
@@ -315,21 +494,22 @@ class ProcessPool(Pool):
 
     @staticmethod
     def _drain_completed(
-        futures: Dict[Any, Tuple[int, Any]], task: PoolTask
+        futures: Dict[Any, List[Tuple[int, Any]]], task: PoolTask
     ) -> None:
-        """File every already-completed result (interrupt path).
+        """File every already-completed chunk's batch (interrupt path).
 
         Cancelled and still-running futures are skipped — only results
-        that exist are recorded; re-recording an already-filed position
-        is harmless (the store write is idempotent)."""
-        for future, (position, _cell) in futures.items():
+        that exist are recorded, including the completed prefix of a
+        chunk whose later cell raised; re-recording an already-filed
+        position is harmless (the store write is idempotent)."""
+        for future in futures:
             if not future.done() or future.cancelled():
                 continue
             try:
-                result = future.result()
+                outcome = future.result()
             except BaseException:
                 continue
-            task.record(position, result)
+            task.record_all(outcome.completed)
 
 
 def parse_hosts(text: str) -> List[str]:
@@ -666,9 +846,10 @@ class SshPool(Pool):
         """Stream the remote store as a tarball and merge the payload.
 
         Dependency-free: ``tar`` on the remote side, :mod:`tarfile`
-        locally. Only regular ``*.json`` members are extracted (by
-        basename, into a staging directory), so a hostile or confused
-        archive cannot write outside it.
+        locally. Only regular ``*.json`` members plus the packed-tier
+        files (``pack.seg``/``pack.idx``) are extracted (by basename,
+        into a staging directory), so a hostile or confused archive
+        cannot write outside it.
         """
         command = f"tar -C {shlex.quote(self.remote_store)} -cf - ."
         proc = subprocess.run(
@@ -683,7 +864,11 @@ class SshPool(Pool):
             with tarfile.open(fileobj=io.BytesIO(proc.stdout)) as archive:
                 for member in archive.getmembers():
                     name = os.path.basename(member.name)
-                    if not member.isfile() or not name.endswith(".json"):
+                    wanted = name.endswith(".json") or name in (
+                        PACK_SEGMENT,
+                        PACK_INDEX,
+                    )
+                    if not member.isfile() or not wanted:
                         continue
                     extracted = archive.extractfile(member)
                     if extracted is None:

@@ -472,3 +472,157 @@ class TestWorkloadPlane:
         assert pool.plane_stats is not None
         assert pool.plane_stats.generated >= 1
         assert shm_names() == before
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkCell:
+    """Minimal cell stand-in for partition-policy tests."""
+
+    kind: str = "no-such-kind"
+    workload: str = "w"
+    mitigation: str = "m"
+    params: object = None
+
+
+class TestChunking:
+    """Chunk-scheduled dispatch: partition policy and failure paths."""
+
+    @staticmethod
+    def items(count, key=None, kind="no-such-kind"):
+        """Affinity-ordered (position, cell, key) triples of unit cost."""
+        return [
+            (i, ChunkCell(kind=kind, mitigation=f"m{i}", params=PoolParams()), key)
+            for i in range(count)
+        ]
+
+    def test_budget_packs_cheap_cells(self):
+        """Unit-cost cells pack to roughly total/workers per chunk."""
+        from repro.sim.pool import chunk_plan
+
+        chunks = chunk_plan(self.items(100), max_workers=4)
+        assert 4 <= len(chunks) <= 5
+        flat = [position for chunk in chunks for position, _, _ in chunk]
+        assert flat == list(range(100))
+
+    def test_key_change_flushes_a_chunk(self):
+        """A chunk never spans two workload keys (one plane attach)."""
+        from repro.sim.pool import chunk_plan
+
+        ordered = (
+            self.items(2, key="ka")
+            + [(2, ChunkCell(), "kb")]
+            + [(3, ChunkCell(), None), (4, ChunkCell(), None)]
+        )
+        chunks = chunk_plan(ordered, max_workers=1)
+        keys = [{key for _, _, key in chunk} for chunk in chunks]
+        assert keys == [{"ka"}, {"kb"}, {None}]
+
+    def test_registered_cost_hint_isolates_heavy_cells(self):
+        """A kind whose cost hint exceeds the budget dispatches solo."""
+        from repro.sim.pool import CHUNK_BUDGET, cell_cost, chunk_plan
+
+        register_evaluation(
+            "pool-heavy",
+            params_cls=PoolParams,
+            result_cls=PoolResult,
+            subjects=("ok",),
+            cell_cost=lambda params: 10 * CHUNK_BUDGET,
+        )(run_pool_cell)
+        try:
+            heavy = self.items(4, kind="pool-heavy")
+            assert cell_cost(heavy[0][1]) == 10 * CHUNK_BUDGET
+            assert [len(c) for c in chunk_plan(heavy, 2)] == [1, 1, 1, 1]
+        finally:
+            EVALUATIONS.remove("pool-heavy")
+
+    def test_unknown_kind_costs_one_unit(self):
+        from repro.sim.pool import cell_cost
+
+        assert cell_cost(self.items(1)[0][1]) == 1.0
+
+    def test_env_escape_hatch(self, monkeypatch):
+        from repro.sim.pool import chunking_enabled
+
+        monkeypatch.delenv("REPRO_GRID_CHUNKING", raising=False)
+        assert chunking_enabled()
+        assert ProcessPool(2).chunking
+        monkeypatch.setenv("REPRO_GRID_CHUNKING", "off")
+        assert not chunking_enabled()
+        assert not ProcessPool(2).chunking
+        # An explicit constructor argument beats the environment.
+        assert ProcessPool(2, chunking=True).chunking
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_chunked_runs_are_bit_identical(self, engine, tmp_path):
+        """Serial, per-cell pooled, and chunked pooled runs produce the
+        same result JSON and the same store entries, on both engines."""
+        spec = dataclasses.replace(
+            SPEC,
+            mitigations=["rrs", "srs"],
+            base_params=dataclasses.replace(SPEC.base_params, engine=engine),
+        )
+        runs = {}
+        stores = {}
+        for label, pool in (
+            ("serial", SerialPool()),
+            ("per-cell", ProcessPool(2, chunking=False)),
+            ("chunked", ProcessPool(2, chunking=True)),
+        ):
+            store_dir = tmp_path / label
+            runs[label] = run_grid(
+                spec, store=str(store_dir), pool=pool
+            ).to_json()
+            stores[label] = {
+                name: (store_dir / name).read_text()
+                for name in entry_files(store_dir)
+            }
+        assert runs["per-cell"] == runs["serial"]
+        assert runs["chunked"] == runs["serial"]
+        assert stores["per-cell"] == stores["serial"]
+        assert stores["chunked"] == stores["serial"]
+
+    def test_run_stats_report_chunks(self, flaky_kind, tmp_path):
+        ok_only = dataclasses.replace(flaky_kind, mitigations=["ok", "also-ok"])
+        pooled = run_grid(ok_only, pool=ProcessPool(2))
+        assert pooled.run_stats.chunks >= 1
+        serial = run_grid(ok_only, max_workers=1)
+        assert serial.run_stats.chunks is None
+
+    def test_partial_chunk_failure_records_prefix(self, flaky_kind, tmp_path):
+        """When a cell mid-chunk raises, the chunk's completed prefix
+        still reaches the store; the rest of the chunk reruns later."""
+        store_dir = tmp_path / "store"
+        with pytest.raises(RuntimeError, match="pool boom"):
+            # One worker, unit costs: the whole [ok, boom, also-ok] plan
+            # lands in a single chunk.
+            run_grid(flaky_kind, store=str(store_dir), pool=ProcessPool(1))
+        assert len(entry_files(store_dir)) == 1
+        ok_only = dataclasses.replace(
+            flaky_kind, mitigations=["ok", "also-ok"]
+        )
+        resumed = run_grid(ok_only, max_workers=1, store=str(store_dir))
+        assert resumed.run_stats.reused == 1
+        assert resumed.run_stats.executed == 1
+
+    def test_interrupt_mid_chunk_keeps_prefix_and_shm_clean(
+        self, interrupt_kind, tmp_path
+    ):
+        """A KeyboardInterrupt inside a chunk still delivers the chunk's
+        completed prefix to the store, and no shm segment survives."""
+        before = shm_names()
+        spec = ExperimentSpec(
+            kind="pool-interrupt",
+            mitigations=["ok", "boom", "also-ok"],
+            base_params=PoolParams(),
+        )
+        store_dir = tmp_path / "store"
+        with pytest.raises(KeyboardInterrupt):
+            run_grid(spec, store=str(store_dir), pool=ProcessPool(1))
+        # Single chunk [ok, boom, also-ok]: ok completed before the
+        # interrupt and must survive; the rest resumes later.
+        assert len(entry_files(store_dir)) == 1
+        assert shm_names() == before
+        ok_only = dataclasses.replace(spec, mitigations=["ok", "also-ok"])
+        resumed = run_grid(ok_only, max_workers=1, store=str(store_dir))
+        assert resumed.run_stats.reused == 1
+        assert resumed.run_stats.executed == 1

@@ -407,10 +407,12 @@ class TestMergeFrom:
         stats = dest.merge_from(str(source))
         assert (stats.adopted, stats.rejected) == (4, 2)
 
-    def test_fingerprinted_trace_entries_skip_verification(self, tmp_path):
-        """Trace cells are addressed under a local content fingerprint
-        the payload cannot reproduce, so collection skips them (the
-        coordinator recomputes) rather than adopt unverifiable data."""
+    def test_fingerprinted_trace_entries_verify_and_adopt(self, tmp_path):
+        """Trace cells are addressed under a local content fingerprint,
+        and the payload carries the same fingerprint-bearing key — so
+        collection verifies and adopts them instead of forcing the
+        coordinator to recompute. The adopted entries must then serve a
+        resume against the destination with zero executions."""
         from repro.sim import record_workload
         from repro.sim.experiment import resolve_workload
 
@@ -431,8 +433,24 @@ class TestMergeFrom:
         run_grid(spec, max_workers=1, store=str(source))
         dest = ResultStore(str(tmp_path / "dest"))
         stats = dest.merge_from(str(source))
-        assert stats.adopted == 0
-        assert stats.unverified == len(entry_files(source))
+        assert stats.adopted == len(entry_files(source))
+        assert stats.unverified == 0
+        resumed = run_grid(spec, max_workers=1, store=dest)
+        assert resumed.run_stats.executed == 0
+        assert resumed.run_stats.reused == stats.adopted
+
+    def test_tampered_entry_stays_unverified(self, tmp_path):
+        """A renamed/tampered source entry still fails digest
+        verification and is left behind."""
+        source = tmp_path / "source"
+        run_grid(STORAGE, max_workers=1, store=str(source))
+        names = entry_files(source)
+        bogus = "0" * 64 + ".json"
+        os.rename(str(source / names[0]), str(source / bogus))
+        dest = ResultStore(str(tmp_path / "dest"))
+        stats = dest.merge_from(str(source))
+        assert stats.unverified == 1
+        assert stats.adopted == len(names) - 1
 
 
 class TestInventoryAndPrune:
@@ -511,3 +529,147 @@ class TestInventoryAndPrune:
         store = ResultStore(str(tmp_path / "empty"))
         assert store.prune() == []
         assert store.inventory().total == 0
+
+
+class TestPackedTier:
+    """The append-only segment: fold, read-through, heal, compact."""
+
+    def fill(self, tmp_path):
+        store_dir = tmp_path / "store"
+        run_grid(STORAGE, max_workers=1, store=str(store_dir))
+        return store_dir, ResultStore(str(store_dir))
+
+    def test_pack_round_trip_and_resume(self, tmp_path):
+        store_dir, store = self.fill(tmp_path)
+        count = len(store)
+        stats = store.pack()
+        assert stats.packed == count
+        assert stats.folded == count
+        assert entry_files(store_dir) == []
+        assert (store_dir / "pack.seg").exists()
+        assert (store_dir / "pack.idx").exists()
+        # A fresh instance (lazy index load) serves the whole grid.
+        resumed = run_grid(STORAGE, max_workers=1, store=str(store_dir))
+        assert resumed.run_stats.executed == 0
+        assert resumed.run_stats.reused == count
+        assert len(ResultStore(str(store_dir))) == count
+
+    def test_pack_is_idempotent(self, tmp_path):
+        _, store = self.fill(tmp_path)
+        store.pack()
+        again = store.pack()
+        assert again.packed == 0
+        assert again.folded == 0
+
+    def test_packed_and_loose_mix_serves_and_repacks(self, tmp_path):
+        """New results land loose next to the segment; a second pack
+        folds them in (duplicates are just dropped)."""
+        store_dir, store = self.fill(tmp_path)
+        store.pack()
+        wider = dataclasses.replace(
+            STORAGE, grid={"trh": [4800, 2400, 1200, 600]}
+        )
+        grown = run_grid(wider, max_workers=1, store=str(store_dir))
+        assert grown.run_stats.executed == 2
+        assert grown.run_stats.reused == 6
+        assert len(entry_files(store_dir)) == 2
+        stats = store.pack()
+        assert stats.packed == 2
+        assert entry_files(store_dir) == []
+        resumed = run_grid(wider, max_workers=1, store=str(store_dir))
+        assert resumed.run_stats.executed == 0
+
+    def test_corrupt_index_is_rebuilt_from_segment(self, tmp_path):
+        store_dir, store = self.fill(tmp_path)
+        store.pack()
+        (store_dir / "pack.idx").write_text("{ not json")
+        fresh = ResultStore(str(store_dir))
+        resumed = run_grid(STORAGE, max_workers=1, store=fresh)
+        assert resumed.run_stats.executed == 0
+        # The rebuild healed the sidecar on disk.
+        healed = json.loads((store_dir / "pack.idx").read_text())
+        assert len(healed["entries"]) == 6
+
+    def test_missing_index_is_rebuilt_from_segment(self, tmp_path):
+        store_dir, store = self.fill(tmp_path)
+        store.pack()
+        os.unlink(str(store_dir / "pack.idx"))
+        resumed = run_grid(STORAGE, max_workers=1, store=str(store_dir))
+        assert resumed.run_stats.executed == 0
+
+    def test_corrupt_segment_record_heals_through_rerun(self, tmp_path):
+        store_dir, store = self.fill(tmp_path)
+        store.pack()
+        # Garble one record's payload in place (same line length).
+        data = (store_dir / "pack.seg").read_bytes().splitlines(keepends=True)
+        line = data[0]
+        data[0] = line[:65] + b"x" * (len(line) - 66) + b"\n"
+        (store_dir / "pack.seg").write_bytes(b"".join(data))
+        rerun = run_grid(STORAGE, max_workers=1, store=str(store_dir))
+        assert rerun.run_stats.executed == 1
+        assert rerun.run_stats.reused == 5
+        # The rewrite landed loose and shadows the corrupt record.
+        assert len(entry_files(store_dir)) == 1
+        healed = run_grid(STORAGE, max_workers=1, store=str(store_dir))
+        assert healed.run_stats.executed == 0
+
+    def test_inventory_and_prune_are_pack_aware(self, tmp_path):
+        store_dir, store = self.fill(tmp_path)
+        store.pack()
+        data = (store_dir / "pack.seg").read_bytes().splitlines(keepends=True)
+        line = data[0]
+        victim = line[:64].decode()
+        data[0] = line[:65] + b"x" * (len(line) - 66) + b"\n"
+        (store_dir / "pack.seg").write_bytes(b"".join(data))
+        store = ResultStore(str(store_dir))
+        inventory = store.inventory()
+        assert sum(inventory.live.values()) == 5
+        assert [os.path.basename(p) for p, _ in inventory.corrupt] == [
+            f"pack.seg#{victim}"
+        ]
+        removed = store.prune()
+        assert len(removed) == 1
+        # The segment was compacted: five live records remain, readable.
+        assert len(store) == 5
+        rerun = run_grid(STORAGE, max_workers=1, store=store)
+        assert rerun.run_stats.executed == 1
+        assert rerun.run_stats.reused == 5
+
+    def test_merge_from_adopts_packed_sources(self, tmp_path):
+        """merge_from reads both tiers of the source; adoptions land
+        loose in the destination."""
+        store_dir, source = self.fill(tmp_path)
+        source.pack()
+        dest = ResultStore(str(tmp_path / "dest"))
+        stats = dest.merge_from(str(store_dir))
+        assert stats.adopted == 6
+        assert stats.unverified == 0
+        resumed = run_grid(STORAGE, max_workers=1, store=dest)
+        assert resumed.run_stats.executed == 0
+
+    def test_merge_from_sees_packed_destination_entries(self, tmp_path):
+        """An entry already packed in the destination counts as
+        present — no duplicate loose copy is written."""
+        store_dir, source = self.fill(tmp_path)
+        dest_dir = tmp_path / "dest"
+        dest = ResultStore(str(dest_dir))
+        dest.merge_from(str(store_dir))
+        dest.pack()
+        stats = dest.merge_from(str(store_dir))
+        assert stats.present == 6
+        assert stats.adopted == 0
+        assert entry_files(dest_dir) == []
+
+    def test_mixed_source_merge(self, tmp_path):
+        """A source with both packed and loose entries merges whole."""
+        store_dir, source = self.fill(tmp_path)
+        source.pack()
+        wider = dataclasses.replace(
+            STORAGE, grid={"trh": [4800, 2400, 1200, 600]}
+        )
+        run_grid(wider, max_workers=1, store=str(store_dir))
+        dest = ResultStore(str(tmp_path / "dest"))
+        stats = dest.merge_from(str(store_dir))
+        assert stats.adopted == 8
+        resumed = run_grid(wider, max_workers=1, store=dest)
+        assert resumed.run_stats.executed == 0

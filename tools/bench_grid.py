@@ -25,6 +25,12 @@ plane's hardest-working case — without it, each cell re-reads and
 re-decodes the file once *per core*. The benchmark asserts all four
 modes produced bit-identical result sets before reporting any number,
 and that no ``repro-`` shared-memory segment survived.
+
+A second, *analytical* section times a high-cardinality security grid
+(hundreds of microsecond-scale closed-form cells) under per-cell vs
+chunked pool dispatch — the chunk scheduler's target case — printing
+the greppable ``chunked cells/sec:`` line and asserting all dispatch
+modes match the serial reference bit-identically.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from typing import Any, Dict, List
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
+from repro.sim.evaluations import SecurityParams  # noqa: E402
 from repro.sim.experiment import (  # noqa: E402
     ExperimentSpec,
     resolve_workload,
@@ -88,6 +95,99 @@ def record_trace(out_dir: str, quick: bool) -> None:
         SimulationParams(num_cores=1, requests_per_core=requests),
         out_dir=out_dir,
     )
+
+
+def build_analytical_spec(quick: bool) -> ExperimentSpec:
+    """A high-cardinality security grid of microsecond-scale cells.
+
+    The chunk scheduler's target case: each cell is one closed-form
+    Juggernaut evaluation (fixed round budget, no Monte-Carlo), so the
+    per-cell pool dispatch used to dwarf the cell itself. 2000 cells
+    full (2 designs x 20 TRH x 50 swap rates), 200 quick.
+    """
+    if quick:
+        trhs = [1200 + 200 * i for i in range(10)]
+        rates = [2.0 + 0.5 * i for i in range(10)]
+    else:
+        trhs = [1200 + 100 * i for i in range(20)]
+        rates = [2.0 + 0.1 * i for i in range(50)]
+    return ExperimentSpec(
+        kind="security",
+        mitigations=["rrs", "srs"],
+        base_params=SecurityParams(rounds=64, iterations=0),
+        grid={"trh": trhs, "swap_rate": rates},
+    )
+
+
+def run_analytical_mode(
+    spec: ExperimentSpec, mode: str, workers: int, repeats: int
+) -> Dict[str, Any]:
+    """Time the analytical grid in one dispatch mode, best of ``repeats``.
+
+    Modes: ``serial`` (the unchunked in-process reference every other
+    mode must match bit-identically), ``per-cell`` (pooled, one cell
+    per dispatch — the pre-chunking behavior), ``chunked`` (pooled,
+    cost-budgeted chunks).
+    """
+    best = float("inf")
+    results = None
+    for _ in range(repeats):
+        if mode == "serial":
+            pool = SerialPool()
+        else:
+            pool = ProcessPool(workers, chunking=(mode == "chunked"))
+        started = time.perf_counter()
+        results = run_grid(spec, pool=pool)
+        best = min(best, time.perf_counter() - started)
+    stats = results.run_stats
+    return {
+        "mode": mode,
+        "seconds": round(best, 4),
+        "cells": stats.planned,
+        "chunks": stats.chunks,
+        "cells_per_second": round(stats.planned / best, 3),
+        "_json": results.to_json(),
+    }
+
+
+def run_analytical_benchmark(quick: bool, repeats: int) -> Dict[str, Any]:
+    """The analytical section: serial vs per-cell vs chunked dispatch."""
+    spec = build_analytical_spec(quick)
+    spec.validate()
+    workers = min(4, available_cpu_count())
+    modes = [
+        run_analytical_mode(spec, mode, workers, repeats)
+        for mode in ("serial", "per-cell", "chunked")
+    ]
+    reference = modes[0].pop("_json")
+    for mode in modes[1:]:
+        if mode.pop("_json") != reference:
+            raise AssertionError(
+                f"analytical mode {mode['mode']} changed results — "
+                f"bit-identity violated"
+            )
+    serial, per_cell, chunked = modes
+    speedup = round(
+        chunked["cells_per_second"] / per_cell["cells_per_second"], 3
+    )
+    for mode in modes:
+        chunk_note = (
+            f"  ({mode['chunks']} chunks)" if mode["chunks"] is not None else ""
+        )
+        print(
+            f"analytical {mode['mode']:<9s}{mode['cells']} cells in "
+            f"{mode['seconds']:.3f}s  {mode['cells_per_second']:>10.2f} "
+            f"cells/s{chunk_note}"
+        )
+    # Greppable by the CI grid-throughput-smoke job.
+    print(f"chunked cells/sec: {chunked['cells_per_second']:.2f}")
+    print(f"analytical chunked speedup: {speedup:.2f}x")
+    return {
+        "cells": serial["cells"],
+        "workers": workers,
+        "modes": modes,
+        "chunked_speedup": speedup,
+    }
 
 
 def run_mode(
@@ -162,8 +262,13 @@ def main(argv: List[str] = None) -> int:
              "trajectory) instead of overwriting; a legacy single-run "
              "file becomes the trajectory's first point",
     )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repetitions per mode, best-of (default: 1 quick, "
+             "2 full; raise on noisy hosts)",
+    )
     args = parser.parse_args(argv)
-    repeats = 1 if args.quick else 2
+    repeats = args.repeats if args.repeats else (1 if args.quick else 2)
 
     with tempfile.TemporaryDirectory(prefix="bench-grid-") as scratch:
         # Setup (untimed): the recorded stream and a warm parsed-trace
@@ -217,6 +322,8 @@ def main(argv: List[str] = None) -> int:
     if lines[3]:
         print(lines[3])
 
+    analytical = run_analytical_benchmark(args.quick, repeats)
+
     report = {
         "benchmark": "grid",
         "quick": args.quick,
@@ -231,9 +338,11 @@ def main(argv: List[str] = None) -> int:
             "repeats": repeats,
         },
         "modes": modes,
+        "analytical": analytical,
         "summary": {
             "serial_speedup": serial_speedup,
             "pooled_speedup": pooled_speedup,
+            "analytical_chunked_speedup": analytical["chunked_speedup"],
         },
     }
     payload: Dict[str, Any] = report
